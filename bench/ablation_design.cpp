@@ -1,0 +1,93 @@
+// Ablation of the design choices DESIGN.md calls out, on a fixed scenario
+// (8 nodes x 16 cores, synthetic imbalance 2.0, degree 4, global policy):
+//   - the two-tasks-per-owned-core scheduler threshold (§5.5);
+//   - the borrowed-core friction that caps LeWI efficiency (§5.5/§7.4);
+//   - busy-estimate smoothing for the DROM policies (stability fix);
+//   - the global solver period (paper: 2 s);
+//   - partitioned vs monolithic global solves (§5.4.2) — solved-quality
+//     comparison on a static problem.
+#include "apps/synthetic.hpp"
+#include "bench/common.hpp"
+#include "sim/rng.hpp"
+#include "solver/partitioned.hpp"
+
+namespace {
+
+using namespace tlb;
+using namespace tlb::bench;
+
+core::RunResult run_one(
+    const std::function<void(core::RuntimeConfig&)>& tweak) {
+  core::RuntimeConfig cfg;
+  cfg.cluster = sim::ClusterSpec::homogeneous(8, 16);
+  cfg.appranks_per_node = 1;
+  cfg.degree = 4;
+  cfg.policy = core::PolicyKind::Global;
+  tweak(cfg);
+  apps::SyntheticConfig scfg;
+  scfg.appranks = 8;
+  scfg.iterations = 6;
+  scfg.tasks_per_rank = 320;
+  scfg.imbalance = 2.0;
+  apps::SyntheticWorkload wl(scfg);
+  core::ClusterRuntime rt(cfg);
+  return rt.run(wl);
+}
+
+void row(const char* name, const core::RunResult& r) {
+  std::printf("%-34s %10.3f %12.2f %11.1f%%\n", name, r.makespan,
+              r.vs_perfect(), 100.0 * r.offload_fraction());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation: 8 nodes, synthetic imbalance 2.0, degree 4 ==\n");
+  std::printf("%-34s %10s %12s %12s\n", "variant", "time [s]", "vs perfect",
+              "offloaded");
+
+  row("default", run_one([](auto&) {}));
+  row("inflight threshold 1/core",
+      run_one([](auto& c) { c.inflight_per_core = 1; }));
+  row("inflight threshold 4/core",
+      run_one([](auto& c) { c.inflight_per_core = 4; }));
+  row("no borrowed-core friction",
+      run_one([](auto& c) { c.borrowed_core_overhead = 0.0; }));
+  row("3x borrowed-core friction",
+      run_one([](auto& c) { c.borrowed_core_overhead = 0.060; }));
+  row("no busy smoothing",
+      run_one([](auto& c) { c.busy_smoothing = 0.0; }));
+  row("heavy busy smoothing (0.9)",
+      run_one([](auto& c) { c.busy_smoothing = 0.9; }));
+  row("solver period 0.5 s",
+      run_one([](auto& c) { c.global_period = 0.5; }));
+  row("solver period 8 s",
+      run_one([](auto& c) { c.global_period = 8.0; }));
+  row("modelled solver latency 57 ms",
+      run_one([](auto& c) { c.solver_latency = 0.057; }));
+  row("no LeWI (DROM only)", run_one([](auto& c) { c.lewi = false; }));
+  row("local policy", run_one([](auto& c) {
+        c.policy = tlb::core::PolicyKind::Local;
+      }));
+
+  // Partitioned solver quality on a static 64-node problem (§5.4.2).
+  std::printf("\n== Partitioned global solve, 64 nodes x 48 cores, degree 4 ==\n");
+  const auto ex = graph::build_expander(
+      {.nodes = 64, .appranks_per_node = 2, .degree = 4, .seed = 21});
+  sim::Rng rng(13);
+  solver::AllocationProblem p;
+  p.graph = &ex.graph;
+  p.node_cores.assign(64, 48);
+  for (int a = 0; a < ex.graph.left_count(); ++a) {
+    p.work.push_back(rng.uniform(0.0, 60.0));
+  }
+  const auto direct = solver::solve_allocation(p);
+  std::printf("%-24s objective %.4f\n", "monolithic", direct.objective);
+  for (int group : {32, 16, 8}) {
+    const auto part = solver::solve_allocation_partitioned(p, 2, group);
+    std::printf("%-14s groups=%2d objective %.4f (+%.1f%%)\n", "partitioned",
+                part.groups, part.objective,
+                100.0 * (part.objective / direct.objective - 1.0));
+  }
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Each bench binary regenerates one table/figure of the paper: it runs the
+// relevant cluster configurations through the simulator and prints the
+// same series the paper plots (execution time vs nodes / imbalance /
+// policy). Absolute times are simulated seconds on the modelled machines
+// (MareNostrum 4: 48-core nodes; Nord3: 16-core nodes), so the *shapes*
+// — who wins, by what factor, where crossovers fall — are the result.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/runtime.hpp"
+
+namespace tlb::bench {
+
+/// Paper machine models.
+inline sim::ClusterSpec marenostrum4(int nodes) {
+  return sim::ClusterSpec::homogeneous(nodes, 48);
+}
+inline sim::ClusterSpec nord3(int nodes, bool one_slow_node) {
+  // Nord3: 2x 8-core sockets; the slow node runs at 1.8 GHz vs 3.0 GHz.
+  return one_slow_node
+             ? sim::ClusterSpec::with_slow_node(nodes, 16, 0, 1.8 / 3.0)
+             : sim::ClusterSpec::homogeneous(nodes, 16);
+}
+
+/// Named configuration for a series in a figure.
+struct Series {
+  std::string name;
+  int degree = 1;
+  bool lewi = true;
+  bool drom = true;
+  core::PolicyKind policy = core::PolicyKind::Global;
+};
+
+/// The standard series the application figures sweep: no DLB baseline,
+/// single-node DLB (degree 1), then increasing offloading degree.
+inline std::vector<Series> paper_series(core::PolicyKind policy,
+                                        const std::vector<int>& degrees) {
+  std::vector<Series> out;
+  out.push_back({"baseline", 1, false, false, core::PolicyKind::None});
+  out.push_back({"dlb(deg1)", 1, true, true, policy});
+  for (int d : degrees) {
+    out.push_back({"degree " + std::to_string(d), d, true, true, policy});
+  }
+  return out;
+}
+
+inline core::RuntimeConfig make_config(sim::ClusterSpec cluster, int per_node,
+                                       const Series& s) {
+  core::RuntimeConfig cfg;
+  cfg.cluster = std::move(cluster);
+  cfg.appranks_per_node = per_node;
+  cfg.degree = s.degree;
+  cfg.lewi = s.lewi;
+  cfg.drom = s.drom;
+  cfg.policy = s.policy;
+  return cfg;
+}
+
+/// True when the series fits on the nodes (enough cores for one per
+/// worker; degree cannot exceed the node count).
+inline bool feasible(const sim::ClusterSpec& cluster, int per_node,
+                     const Series& s) {
+  if (s.degree > cluster.node_count()) return false;
+  const int workers_per_node = per_node * s.degree;
+  for (const auto& n : cluster.nodes) {
+    if (workers_per_node > n.cores) return false;
+  }
+  return true;
+}
+
+// --- table printing -----------------------------------------------------------
+
+inline void print_header(const std::string& title,
+                         const std::vector<std::string>& columns) {
+  std::printf("\n== %s ==\n", title.c_str());
+  for (const auto& c : columns) std::printf("%14s", c.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < columns.size(); ++i) std::printf("%14s", "------");
+  std::printf("\n");
+}
+
+inline void print_cell(const std::string& v) { std::printf("%14s", v.c_str()); }
+inline void print_cell(double v) { std::printf("%14.3f", v); }
+inline void print_cell(int v) { std::printf("%14d", v); }
+inline void end_row() { std::printf("\n"); }
+
+inline std::string fmt(double v, int prec = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+}  // namespace tlb::bench

@@ -1,0 +1,21 @@
+// Fig 6(a,b): Alya MicroPP weak scaling with the GLOBAL allocation policy
+// on MareNostrum-4-like nodes (48 cores). Series: no-DLB baseline,
+// single-node DLB (degree 1), and offloading degrees 2/3/4/8, plus the
+// perfect-balance bound. Expected shape (paper §7.1): degree >= 3 tracks
+// the perfect bound closely (47-49% below DLB at 4-32 nodes); degree 2
+// degrades as node count grows (graph connectivity); degree 8 starts to
+// cost (helper-core floor).
+#include "bench/micropp_figure.hpp"
+
+int main() {
+  using namespace tlb::bench;
+  run_micropp_weak_scaling(
+      tlb::core::PolicyKind::Global, /*appranks_per_node=*/1,
+      {2, 4, 8, 16, 32, 64},
+      "Fig 6(a): MicroPP, global policy, 1 apprank/node [exec time, s]");
+  run_micropp_weak_scaling(
+      tlb::core::PolicyKind::Global, /*appranks_per_node=*/2,
+      {2, 4, 8, 16, 32, 64},
+      "Fig 6(b): MicroPP, global policy, 2 appranks/node [exec time, s]");
+  return 0;
+}

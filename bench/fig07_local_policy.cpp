@@ -1,0 +1,19 @@
+// Fig 7: Alya MicroPP weak scaling with the LOCAL convergence policy.
+// Expected shape (paper §7.2): similar to the global policy on few nodes
+// (about 43% below DLB at 4 nodes), but ~10% worse than global at 32
+// nodes, and more sensitive to the offloading degree (time rises again
+// for degree > 4).
+#include "bench/micropp_figure.hpp"
+
+int main() {
+  using namespace tlb::bench;
+  run_micropp_weak_scaling(
+      tlb::core::PolicyKind::Local, /*appranks_per_node=*/1,
+      {2, 4, 8, 16, 32},
+      "Fig 7(a): MicroPP, local policy, 1 apprank/node [exec time, s]");
+  run_micropp_weak_scaling(
+      tlb::core::PolicyKind::Local, /*appranks_per_node=*/2,
+      {2, 4, 8, 16, 32},
+      "Fig 7(b): MicroPP, local policy, 2 appranks/node [exec time, s]");
+  return 0;
+}

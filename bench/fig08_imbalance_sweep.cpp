@@ -1,0 +1,71 @@
+// Fig 8: execution time of the synthetic benchmark as a function of the
+// configured imbalance (Equation 2), one apprank per node, LeWI + DROM
+// with the global policy. Expected shape (paper §7.3):
+//   - degree 4 gives consistently good results across imbalance 1.0-4.0;
+//   - on few nodes, a degree >= the imbalance suffices (degree 2 holds to
+//     imbalance 2.0, degree 3 to 3.0);
+//   - on 64 nodes graph connectivity matters: degree 4 is the dependable
+//     choice, within ~10-20% of the perfect bound for imbalance <= 2.
+#include "apps/synthetic.hpp"
+#include "bench/common.hpp"
+
+namespace {
+
+tlb::apps::SyntheticConfig synthetic_config(int appranks, double imbalance) {
+  tlb::apps::SyntheticConfig cfg;
+  cfg.appranks = appranks;
+  cfg.iterations = 6;
+  // Paper: 100 tasks/core of ~50 ms; scaled to 20/core on 16-core nodes
+  // so the 64-node sweep simulates in seconds.
+  cfg.tasks_per_rank = 320;
+  cfg.base_duration = 0.050;
+  cfg.imbalance = imbalance;
+  return cfg;
+}
+
+void sweep(int nodes, const std::vector<int>& degrees) {
+  using namespace tlb::bench;
+  std::vector<Series> series;
+  series.push_back({"dlb(deg1)", 1, true, true, tlb::core::PolicyKind::Global});
+  for (int d : degrees) {
+    series.push_back({"degree " + std::to_string(d), d, true, true,
+                      tlb::core::PolicyKind::Global});
+  }
+
+  std::vector<std::string> cols = {"imbalance"};
+  for (const auto& s : series) cols.push_back(s.name);
+  cols.push_back("perfect");
+  print_header("Fig 8: synthetic on " + std::to_string(nodes) +
+                   " nodes (16 cores/node), time per run [s]",
+               cols);
+
+  for (double imb : {1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0}) {
+    print_cell(fmt(imb, 1));
+    double perfect = 0.0;
+    for (const auto& s : series) {
+      const auto cluster = tlb::sim::ClusterSpec::homogeneous(nodes, 16);
+      if (!feasible(cluster, 1, s)) {
+        print_cell(std::string("-"));
+        continue;
+      }
+      auto cfg = make_config(cluster, 1, s);
+      cfg.solver_latency = 0.057 * (nodes / 32.0) * (nodes / 32.0);
+      tlb::apps::SyntheticWorkload wl(synthetic_config(nodes, imb));
+      tlb::core::ClusterRuntime rt(cfg);
+      const auto r = rt.run(wl);
+      print_cell(r.makespan);
+      perfect = r.perfect_time;
+    }
+    print_cell(perfect);
+    end_row();
+  }
+}
+
+}  // namespace
+
+int main() {
+  sweep(4, {2, 3, 4});
+  sweep(16, {2, 3, 4, 8});
+  sweep(64, {2, 4, 8});
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Fig 10: synthetic benchmark with one EMULATED slow node (its rank's
+// tasks take 3x longer wherever they run), one apprank per node,
+// LeWI + DROM global policy. The x-axis sweeps the configured imbalance in
+// both directions: "least" means the slow rank carries the minimum work,
+// "most" means it carries the maximum. Expected shape (paper §7.5):
+//   - 2 nodes: degree 2 is nearly flat and close to optimal across the
+//     whole range;
+//   - 8 nodes: flat when the slow node has the most work as long as the
+//     degree is a little above the imbalance; degree 4 is the most
+//     consistent and handles imbalance up to 4.
+#include "apps/synthetic.hpp"
+#include "bench/common.hpp"
+
+namespace {
+
+/// direction = 'most': slow rank is the worst-loaded rank;
+/// direction = 'least': slow rank carries the least work.
+tlb::apps::SyntheticConfig slow_config(int appranks, double imbalance,
+                                       bool slow_has_most) {
+  tlb::apps::SyntheticConfig cfg;
+  cfg.appranks = appranks;
+  cfg.iterations = 3;
+  cfg.tasks_per_rank = 320;
+  cfg.base_duration = 0.050;
+  cfg.imbalance = imbalance;
+  cfg.slow_rank = 0;
+  cfg.slow_factor = 3.0;
+  if (slow_has_most || appranks == 1) {
+    cfg.worst_rank = 0;
+  } else {
+    cfg.worst_rank = appranks - 1;
+    cfg.least_rank = 0;
+  }
+  return cfg;
+}
+
+void sweep(int nodes, const std::vector<int>& degrees) {
+  using namespace tlb::bench;
+  std::vector<Series> series;
+  series.push_back({"dlb(deg1)", 1, true, true, tlb::core::PolicyKind::Global});
+  for (int d : degrees) {
+    series.push_back({"degree " + std::to_string(d), d, true, true,
+                      tlb::core::PolicyKind::Global});
+  }
+  std::vector<std::string> cols = {"imbalance"};
+  for (const auto& s : series) cols.push_back(s.name);
+  cols.push_back("perfect");
+  print_header("Fig 10: synthetic, one emulated 3x-slow rank, " +
+                   std::to_string(nodes) + " nodes [time per run, s]",
+               cols);
+
+  // Left side (slow rank least loaded) printed as negative imbalance.
+  std::vector<std::pair<double, bool>> xs;
+  for (double i : {4.0, 3.0, 2.0, 1.5}) {
+    if (i <= nodes) xs.emplace_back(i, false);  // Eq. 2: imbalance <= ranks
+  }
+  xs.emplace_back(1.0, true);
+  for (double i : {1.5, 2.0, 3.0, 4.0}) {
+    if (i <= nodes) xs.emplace_back(i, true);
+  }
+
+  for (const auto& [imb, most] : xs) {
+    print_cell(fmt(most ? imb : -imb, 1));
+    double perfect = 0.0;
+    for (const auto& s : series) {
+      const auto cluster = tlb::sim::ClusterSpec::homogeneous(nodes, 16);
+      if (!feasible(cluster, 1, s)) {
+        print_cell(std::string("-"));
+        continue;
+      }
+      auto cfg = make_config(cluster, 1, s);
+      tlb::apps::SyntheticWorkload wl(slow_config(nodes, imb, most));
+      tlb::core::ClusterRuntime rt(cfg);
+      const auto r = rt.run(wl);
+      print_cell(r.makespan);
+      perfect = r.perfect_time;
+    }
+    print_cell(perfect);
+    end_row();
+  }
+}
+
+}  // namespace
+
+int main() {
+  sweep(2, {2});
+  sweep(8, {2, 3, 4});
+  return 0;
+}

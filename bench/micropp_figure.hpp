@@ -1,0 +1,64 @@
+// Shared driver for the MicroPP weak-scaling figures (Fig 6(a,b) global
+// policy, Fig 7 local policy).
+#pragma once
+
+#include "apps/micropp/workload.hpp"
+#include "bench/common.hpp"
+
+namespace tlb::bench {
+
+/// Paper-like MicroPP configuration, scaled so a full weak-scaling sweep
+/// simulates in seconds: 128 tasks per rank (vs ~100 per core in the
+/// paper), ~2x load ratio between the non-linear-heavy ranks and the rest.
+inline apps::micropp::MicroPPConfig micropp_config(int appranks) {
+  apps::micropp::MicroPPConfig cfg;
+  cfg.appranks = appranks;
+  cfg.iterations = 16;
+  cfg.elements_per_rank = 8192;
+  cfg.elements_per_task = 16;
+  cfg.heavy_rank_fraction = 0.25;
+  cfg.nonlinear_fraction_heavy = 0.55;
+  cfg.nonlinear_fraction_light = 0.05;
+  cfg.core_flops_rate = 5e7;  // scaled-down cores => seconds-long iterations
+  return cfg;
+}
+
+/// Runs the weak-scaling sweep for one apprank placement and prints a
+/// table: rows = node counts, columns = series + perfect bound.
+inline void run_micropp_weak_scaling(core::PolicyKind policy,
+                                     int appranks_per_node,
+                                     const std::vector<int>& node_counts,
+                                     const char* title) {
+  const auto series = paper_series(policy, {2, 3, 4, 8});
+  std::vector<std::string> cols = {"nodes"};
+  for (const auto& s : series) cols.push_back(s.name);
+  cols.push_back("perfect");
+  print_header(title, cols);
+
+  for (int nodes : node_counts) {
+    print_cell(nodes);
+    double perfect = 0.0;
+    for (const auto& s : series) {
+      const auto cluster = marenostrum4(nodes);
+      if (!feasible(cluster, appranks_per_node, s)) {
+        print_cell(std::string("-"));
+        continue;
+      }
+      auto cfg = make_config(cluster, appranks_per_node, s);
+      cfg.solver_latency =
+          policy == core::PolicyKind::Global
+              ? 0.057 * (nodes / 32.0) * (nodes / 32.0)  // paper §5.4.2
+              : 0.0;
+      apps::micropp::MicroPPWorkload wl(
+          micropp_config(nodes * appranks_per_node));
+      core::ClusterRuntime rt(cfg);
+      const auto r = rt.run(wl);
+      print_cell(r.makespan);
+      perfect = r.perfect_time;
+    }
+    print_cell(perfect);
+    end_row();
+  }
+}
+
+}  // namespace tlb::bench

@@ -1,0 +1,80 @@
+// n-body example: a real Barnes–Hut simulation with ORB partitioning,
+// executed on a simulated cluster with one slow node.
+//
+// Part 1 validates the gravity solver (octree vs direct summation) and
+// shows how ORB balances the predicted interaction counts. Part 2 runs
+// the workload on 8 Nord3-like nodes where node 0 is clocked at 60%:
+// ORB's speed-blind cost model leaves the slow node on the critical path
+// until task offloading moves work away from it.
+#include <cstdio>
+
+#include "apps/nbody/octree.hpp"
+#include "apps/nbody/orb.hpp"
+#include "apps/nbody/workload.hpp"
+#include "core/runtime.hpp"
+#include "metrics/imbalance.hpp"
+
+int main() {
+  using namespace tlb;
+  using namespace tlb::apps::nbody;
+
+  // --- Part 1: the gravity solver --------------------------------------------
+  NBodyConfig cfg;
+  cfg.appranks = 16;
+  cfg.iterations = 10;
+  cfg.bodies = 4096;
+  cfg.blocks_per_rank = 24;
+  cfg.orb_chunk = 64;
+  cfg.seconds_per_interaction = 1.5e-4;
+  NBodyWorkload workload(cfg);
+
+  const auto& bodies = workload.bodies();
+  const Octree tree(bodies);
+  double err = 0.0;
+  std::uint64_t interactions = 0;
+  for (int i = 0; i < 32; ++i) {
+    const auto approx = tree.acceleration(bodies[static_cast<std::size_t>(i)],
+                                          cfg.theta);
+    const auto exact =
+        Octree::direct_acceleration(bodies, bodies[static_cast<std::size_t>(i)]);
+    err += (approx.acceleration - exact).norm() / exact.norm();
+    interactions += approx.interactions;
+  }
+  std::printf("Barnes-Hut (theta=%.1f): mean force error %.2f%% vs direct sum, "
+              "%.0f interactions/body (vs %d for direct)\n",
+              cfg.theta, 100.0 * err / 32, interactions / 32.0, cfg.bodies);
+
+  const auto loads = workload.rank_loads();
+  std::printf("ORB predicted per-rank load imbalance (Eq. 2): %.3f over %d "
+              "ranks\n\n",
+              metrics::imbalance(loads), cfg.appranks);
+
+  // --- Part 2: the slow node --------------------------------------------------
+  std::printf("== 8 nodes x 16 cores, node 0 at 60%% clock, 2 ranks/node ==\n");
+  struct Setup {
+    const char* name;
+    bool dlb;
+    int degree;
+  };
+  for (const auto& s : {Setup{"baseline   ", false, 1},
+                        Setup{"DLB        ", true, 1},
+                        Setup{"DLB + deg 3", true, 3}}) {
+    core::RuntimeConfig rcfg;
+    rcfg.cluster = sim::ClusterSpec::with_slow_node(8, 16, 0, 0.6);
+    rcfg.appranks_per_node = 2;
+    rcfg.degree = s.degree;
+    rcfg.lewi = s.dlb;
+    rcfg.drom = s.dlb;
+    rcfg.policy = s.dlb ? core::PolicyKind::Global : core::PolicyKind::None;
+
+    NBodyWorkload wl(cfg);
+    core::ClusterRuntime runtime(rcfg);
+    const auto r = runtime.run(wl);
+    std::printf("%s: %.2f s (perfect %.2f s), offloaded %.1f%%\n", s.name,
+                r.makespan, r.perfect_time, 100.0 * r.offload_fraction());
+  }
+  std::printf("\n(kinetic energy after %d steps: %.4f — the clump is real "
+              "physics, not a script)\n",
+              cfg.iterations, workload.kinetic_energy());
+  return 0;
+}

@@ -1,0 +1,222 @@
+#include "apps/micropp/hex8.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace tlb::apps::micropp {
+
+namespace {
+
+/// Corner signs of the 8 nodes in the reference cube [-1,1]^3.
+constexpr double kSign[8][3] = {
+    {-1, -1, -1}, {1, -1, -1}, {1, 1, -1}, {-1, 1, -1},
+    {-1, -1, 1},  {1, -1, 1},  {1, 1, 1},  {-1, 1, 1},
+};
+
+constexpr double kGp = 0.57735026918962576451;  // 1/sqrt(3)
+
+struct GpGeometry {
+  double dndx[8][3];  // shape-function derivatives w.r.t. x,y,z
+  double detj;
+};
+
+/// Reference coordinates of Gauss point `gp` (2x2x2 tensor order).
+void gauss_point(int gp, double xi[3]) {
+  xi[0] = (gp & 1) ? kGp : -kGp;
+  xi[1] = (gp & 2) ? kGp : -kGp;
+  xi[2] = (gp & 4) ? kGp : -kGp;
+}
+
+GpGeometry geometry_at(const ElementCoords& coords, int gp,
+                       std::uint64_t* flops) {
+  double xi[3];
+  gauss_point(gp, xi);
+
+  // dN/dxi for each node.
+  double dndxi[8][3];
+  for (int n = 0; n < 8; ++n) {
+    const double sx = kSign[n][0];
+    const double sy = kSign[n][1];
+    const double sz = kSign[n][2];
+    dndxi[n][0] = 0.125 * sx * (1.0 + sy * xi[1]) * (1.0 + sz * xi[2]);
+    dndxi[n][1] = 0.125 * sy * (1.0 + sx * xi[0]) * (1.0 + sz * xi[2]);
+    dndxi[n][2] = 0.125 * sz * (1.0 + sx * xi[0]) * (1.0 + sy * xi[1]);
+  }
+
+  // Jacobian J[i][j] = d x_j / d xi_i.
+  double j[3][3] = {};
+  for (int n = 0; n < 8; ++n) {
+    for (int a = 0; a < 3; ++a) {
+      for (int b = 0; b < 3; ++b) {
+        j[a][b] += dndxi[n][a] * coords[static_cast<std::size_t>(n)]
+                                       [static_cast<std::size_t>(b)];
+      }
+    }
+  }
+  const double detj =
+      j[0][0] * (j[1][1] * j[2][2] - j[1][2] * j[2][1]) -
+      j[0][1] * (j[1][0] * j[2][2] - j[1][2] * j[2][0]) +
+      j[0][2] * (j[1][0] * j[2][1] - j[1][1] * j[2][0]);
+  assert(detj > 0.0 && "inverted element");
+  const double inv = 1.0 / detj;
+  double ji[3][3];
+  ji[0][0] = inv * (j[1][1] * j[2][2] - j[1][2] * j[2][1]);
+  ji[0][1] = inv * (j[0][2] * j[2][1] - j[0][1] * j[2][2]);
+  ji[0][2] = inv * (j[0][1] * j[1][2] - j[0][2] * j[1][1]);
+  ji[1][0] = inv * (j[1][2] * j[2][0] - j[1][0] * j[2][2]);
+  ji[1][1] = inv * (j[0][0] * j[2][2] - j[0][2] * j[2][0]);
+  ji[1][2] = inv * (j[0][2] * j[1][0] - j[0][0] * j[1][2]);
+  ji[2][0] = inv * (j[1][0] * j[2][1] - j[1][1] * j[2][0]);
+  ji[2][1] = inv * (j[0][1] * j[2][0] - j[0][0] * j[2][1]);
+  ji[2][2] = inv * (j[0][0] * j[1][1] - j[0][1] * j[1][0]);
+
+  GpGeometry out;
+  out.detj = detj;
+  for (int n = 0; n < 8; ++n) {
+    for (int a = 0; a < 3; ++a) {
+      out.dndx[n][a] = ji[a][0] * dndxi[n][0] + ji[a][1] * dndxi[n][1] +
+                       ji[a][2] * dndxi[n][2];
+    }
+  }
+  if (flops != nullptr) {
+    *flops += 8 * 3 * 5       // dN/dxi
+              + 8 * 9 * 2     // Jacobian accumulate
+              + 14 + 9 * 5    // det + inverse
+              + 8 * 3 * 5;    // dN/dx
+  }
+  return out;
+}
+
+/// B matrix row block for node n: fills columns 3n..3n+2 of the 6 strain
+/// rows given dN/dx.
+void strain_contrib(const GpGeometry& g, int n, double b[6][3]) {
+  const double dx = g.dndx[n][0];
+  const double dy = g.dndx[n][1];
+  const double dz = g.dndx[n][2];
+  // exx eyy ezz gxy gyz gzx (engineering shear)
+  b[0][0] = dx; b[0][1] = 0;  b[0][2] = 0;
+  b[1][0] = 0;  b[1][1] = dy; b[1][2] = 0;
+  b[2][0] = 0;  b[2][1] = 0;  b[2][2] = dz;
+  b[3][0] = dy; b[3][1] = dx; b[3][2] = 0;
+  b[4][0] = 0;  b[4][1] = dz; b[4][2] = dy;
+  b[5][0] = dz; b[5][1] = 0;  b[5][2] = dx;
+}
+
+}  // namespace
+
+ElementCoords unit_cube_coords(double h) {
+  ElementCoords c{};
+  for (int n = 0; n < 8; ++n) {
+    for (int a = 0; a < 3; ++a) {
+      c[static_cast<std::size_t>(n)][static_cast<std::size_t>(a)] =
+          0.5 * h * (1.0 + kSign[n][a]);
+    }
+  }
+  return c;
+}
+
+ElementMatrix Hex8::stiffness(const ElementCoords& coords, const Voigt6x6& c,
+                              std::uint64_t* flops) {
+  ElementMatrix ke{};
+  for (int gp = 0; gp < kGaussPoints; ++gp) {
+    const GpGeometry g = geometry_at(coords, gp, flops);
+    // CB[6][24] = C * B, exploiting B's 3-column node blocks.
+    double cb[6][24] = {};
+    for (int n = 0; n < 8; ++n) {
+      double b[6][3];
+      strain_contrib(g, n, b);
+      for (int r = 0; r < 6; ++r) {
+        for (int col = 0; col < 3; ++col) {
+          double acc = 0.0;
+          for (int k = 0; k < 6; ++k) {
+            acc += c[static_cast<std::size_t>(r)][static_cast<std::size_t>(k)] *
+                   b[k][col];
+          }
+          cb[r][3 * n + col] = acc;
+        }
+      }
+    }
+    // Ke += B^T * CB * detj.
+    for (int n = 0; n < 8; ++n) {
+      double b[6][3];
+      strain_contrib(g, n, b);
+      for (int row_c = 0; row_c < 3; ++row_c) {
+        const int row = 3 * n + row_c;
+        for (int col = 0; col < 24; ++col) {
+          double acc = 0.0;
+          for (int k = 0; k < 6; ++k) acc += b[k][row_c] * cb[k][col];
+          ke[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] +=
+              acc * g.detj;
+        }
+      }
+    }
+    if (flops != nullptr) {
+      *flops += 8ull * 6 * 3 * 12  // C*B
+                + 24ull * 24 * 14; // B^T * CB
+    }
+  }
+  return ke;
+}
+
+Voigt6 Hex8::strain_at_gp(const ElementCoords& coords, int gp,
+                          const ElementVector& displacement) {
+  const GpGeometry g = geometry_at(coords, gp, nullptr);
+  Voigt6 eps{};
+  for (int n = 0; n < 8; ++n) {
+    double b[6][3];
+    strain_contrib(g, n, b);
+    for (int r = 0; r < 6; ++r) {
+      for (int col = 0; col < 3; ++col) {
+        eps[static_cast<std::size_t>(r)] +=
+            b[r][col] * displacement[static_cast<std::size_t>(3 * n + col)];
+      }
+    }
+  }
+  return eps;
+}
+
+int Hex8::internal_force(const ElementCoords& coords, const PlasticParams& mat,
+                         const ElementVector& displacement,
+                         std::array<double, 8>& alpha,
+                         ElementVector& force_out, std::uint64_t* flops) {
+  force_out.fill(0.0);
+  int total_iters = 0;
+  for (int gp = 0; gp < kGaussPoints; ++gp) {
+    const GpGeometry g = geometry_at(coords, gp, flops);
+    Voigt6 eps{};
+    for (int n = 0; n < 8; ++n) {
+      double b[6][3];
+      strain_contrib(g, n, b);
+      for (int r = 0; r < 6; ++r) {
+        for (int col = 0; col < 3; ++col) {
+          eps[static_cast<std::size_t>(r)] +=
+              b[r][col] *
+              displacement[static_cast<std::size_t>(3 * n + col)];
+        }
+      }
+    }
+    const PlasticResult pr =
+        j2_return_map(mat, eps, alpha[static_cast<std::size_t>(gp)]);
+    alpha[static_cast<std::size_t>(gp)] = pr.alpha;
+    total_iters += pr.iterations;
+    for (int n = 0; n < 8; ++n) {
+      double b[6][3];
+      strain_contrib(g, n, b);
+      for (int col = 0; col < 3; ++col) {
+        double acc = 0.0;
+        for (int r = 0; r < 6; ++r) {
+          acc += b[r][col] * pr.stress[static_cast<std::size_t>(r)];
+        }
+        force_out[static_cast<std::size_t>(3 * n + col)] += acc * g.detj;
+      }
+    }
+    if (flops != nullptr) {
+      *flops += 8ull * 6 * 6       // strain
+                + 60                // return map (approx per call)
+                + 8ull * 3 * 14;    // force gather
+    }
+  }
+  return total_iters;
+}
+
+}  // namespace tlb::apps::micropp

@@ -1,0 +1,51 @@
+// 8-node hexahedral finite element (trilinear brick) with full 2x2x2 Gauss
+// quadrature — the element kernel underlying the MicroPP workload's cost
+// model. All operations count their floating-point work so the workload
+// can derive task costs from the real kernel.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "apps/micropp/material.hpp"
+
+namespace tlb::apps::micropp {
+
+/// 24x24 element stiffness matrix (3 dofs per node).
+using ElementMatrix = std::array<std::array<double, 24>, 24>;
+using ElementVector = std::array<double, 24>;
+/// Node coordinates: 8 nodes x 3 coords.
+using ElementCoords = std::array<std::array<double, 3>, 8>;
+
+/// Reference coordinates of a unit cube element [0,h]^3.
+ElementCoords unit_cube_coords(double h);
+
+class Hex8 {
+ public:
+  /// Element stiffness Ke = sum_gp B^T C B |J| w for constant C.
+  /// Accumulates the flop count into `flops` when non-null.
+  static ElementMatrix stiffness(const ElementCoords& coords,
+                                 const Voigt6x6& c,
+                                 std::uint64_t* flops = nullptr);
+
+  /// Internal force vector for a displacement field with a (possibly
+  /// nonlinear) stress evaluated per Gauss point via `j2_return_map`.
+  /// `alpha` holds per-Gauss-point accumulated plastic strain (size 8,
+  /// updated in place). Returns total Gauss-point return-mapping
+  /// iterations (the nonlinearity cost driver).
+  static int internal_force(const ElementCoords& coords,
+                            const PlasticParams& mat,
+                            const ElementVector& displacement,
+                            std::array<double, 8>& alpha,
+                            ElementVector& force_out,
+                            std::uint64_t* flops = nullptr);
+
+  /// Strain (Voigt) at a Gauss point for the given displacement.
+  static Voigt6 strain_at_gp(const ElementCoords& coords, int gp,
+                             const ElementVector& displacement);
+
+  /// Number of Gauss points (2x2x2).
+  static constexpr int kGaussPoints = 8;
+};
+
+}  // namespace tlb::apps::micropp

@@ -1,0 +1,109 @@
+#include "apps/micropp/material.hpp"
+
+#include <algorithm>
+
+namespace tlb::apps::micropp {
+
+Voigt6x6 elastic_matrix(const ElasticParams& p) {
+  Voigt6x6 c{};
+  const double e = p.young;
+  const double nu = p.poisson;
+  const double lambda = e * nu / ((1.0 + nu) * (1.0 - 2.0 * nu));
+  const double mu = e / (2.0 * (1.0 + nu));
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      c[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = lambda;
+    }
+    c[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] += 2.0 * mu;
+    c[static_cast<std::size_t>(i + 3)][static_cast<std::size_t>(i + 3)] = mu;
+  }
+  return c;
+}
+
+double von_mises(const Voigt6& s) {
+  const double sx = s[0];
+  const double sy = s[1];
+  const double sz = s[2];
+  const double txy = s[3];
+  const double tyz = s[4];
+  const double tzx = s[5];
+  return std::sqrt(0.5 * ((sx - sy) * (sx - sy) + (sy - sz) * (sy - sz) +
+                          (sz - sx) * (sz - sx)) +
+                   3.0 * (txy * txy + tyz * tyz + tzx * tzx));
+}
+
+PlasticResult j2_return_map(const PlasticParams& p, const Voigt6& strain,
+                            double alpha) {
+  PlasticResult out;
+  out.alpha = alpha;
+
+  const double e = p.elastic.young;
+  const double nu = p.elastic.poisson;
+  const double mu = e / (2.0 * (1.0 + nu));
+  const double kappa = e / (3.0 * (1.0 - 2.0 * nu));
+
+  // Volumetric / deviatoric split of the strain.
+  const double evol = strain[0] + strain[1] + strain[2];
+  Voigt6 dev = strain;
+  for (int i = 0; i < 3; ++i) dev[static_cast<std::size_t>(i)] -= evol / 3.0;
+
+  // Trial deviatoric stress. Engineering shear strains carry a factor 1/2
+  // into the tensorial deviator.
+  Voigt6 s_trial{};
+  for (int i = 0; i < 3; ++i) {
+    s_trial[static_cast<std::size_t>(i)] =
+        2.0 * mu * dev[static_cast<std::size_t>(i)];
+  }
+  for (int i = 3; i < 6; ++i) {
+    s_trial[static_cast<std::size_t>(i)] =
+        mu * dev[static_cast<std::size_t>(i)];
+  }
+  double norm2 = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    norm2 += s_trial[static_cast<std::size_t>(i)] *
+             s_trial[static_cast<std::size_t>(i)];
+  }
+  for (int i = 3; i < 6; ++i) {
+    norm2 += 2.0 * s_trial[static_cast<std::size_t>(i)] *
+             s_trial[static_cast<std::size_t>(i)];
+  }
+  const double s_norm = std::sqrt(norm2);
+  const double k = std::sqrt(2.0 / 3.0);
+  const double yield = k * (p.yield_stress + p.hardening * alpha);
+
+  if (s_norm <= yield) {
+    // Elastic step.
+    out.stress = s_trial;
+    for (int i = 0; i < 3; ++i) {
+      out.stress[static_cast<std::size_t>(i)] += kappa * evol;
+    }
+    out.plastic = false;
+    out.iterations = 1;
+    return out;
+  }
+
+  // Radial return with linear hardening (closed form, but iterate a couple
+  // of times the way a general nonlinear-hardening solver would).
+  double dgamma = 0.0;
+  int iters = 0;
+  for (; iters < 25; ++iters) {
+    const double f = s_norm - 2.0 * mu * dgamma -
+                     k * (p.yield_stress +
+                          p.hardening * (alpha + k * dgamma));
+    if (std::abs(f) < 1e-6 * p.yield_stress) break;
+    const double df = -2.0 * mu - k * k * p.hardening;
+    dgamma -= f / df;
+  }
+  const double factor = std::max(0.0, 1.0 - 2.0 * mu * dgamma / s_norm);
+  out.stress = s_trial;
+  for (auto& v : out.stress) v *= factor;
+  for (int i = 0; i < 3; ++i) {
+    out.stress[static_cast<std::size_t>(i)] += kappa * evol;
+  }
+  out.alpha = alpha + k * dgamma;
+  out.plastic = true;
+  out.iterations = iters + 1;
+  return out;
+}
+
+}  // namespace tlb::apps::micropp

@@ -1,0 +1,49 @@
+// Material models for the MicroPP-like micro-scale solid mechanics kernel.
+//
+// Alya MicroPP computes composite-material response at the micro scale; the
+// load imbalance the paper exploits comes from the mix of cheap linear
+// elastic elements and expensive non-linear (plastic) elements requiring
+// Newton iterations (paper §6.2). We implement isotropic linear elasticity
+// and a J2-style isotropic-hardening return mapping.
+#pragma once
+
+#include <array>
+#include <cmath>
+
+namespace tlb::apps::micropp {
+
+/// Symmetric 6x6 constitutive matrix in Voigt notation.
+using Voigt6x6 = std::array<std::array<double, 6>, 6>;
+using Voigt6 = std::array<double, 6>;
+
+struct ElasticParams {
+  double young = 200e9;   ///< Young's modulus [Pa]
+  double poisson = 0.3;   ///< Poisson ratio
+};
+
+struct PlasticParams {
+  ElasticParams elastic;
+  double yield_stress = 250e6;  ///< initial yield [Pa]
+  double hardening = 2e9;       ///< isotropic hardening modulus [Pa]
+};
+
+/// Isotropic linear-elastic constitutive matrix (Voigt).
+Voigt6x6 elastic_matrix(const ElasticParams& p);
+
+/// One small-strain J2 return-mapping step. Inputs: total strain (Voigt),
+/// accumulated plastic strain `alpha`. Outputs: stress, updated alpha, and
+/// whether the step was plastic. Returns the number of scalar iterations
+/// performed (1 for elastic, >1 when the radial return had to iterate).
+struct PlasticResult {
+  Voigt6 stress{};
+  double alpha = 0.0;
+  bool plastic = false;
+  int iterations = 1;
+};
+PlasticResult j2_return_map(const PlasticParams& p, const Voigt6& strain,
+                            double alpha);
+
+/// Von Mises equivalent stress of a Voigt stress vector.
+double von_mises(const Voigt6& s);
+
+}  // namespace tlb::apps::micropp

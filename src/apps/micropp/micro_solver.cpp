@@ -1,0 +1,191 @@
+#include "apps/micropp/micro_solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+
+namespace tlb::apps::micropp {
+
+Subdomain::Subdomain(SubdomainConfig config) : cfg_(config) {
+  assert(cfg_.nx > 0 && cfg_.ny > 0 && cfg_.nz > 0 && cfg_.h > 0.0);
+}
+
+int Subdomain::node_index(int i, int j, int k) const {
+  return i + j * (cfg_.nx + 1) + k * (cfg_.nx + 1) * (cfg_.ny + 1);
+}
+
+std::array<int, 8> Subdomain::element_nodes(int i, int j, int k) const {
+  // Local order matches the hex8 corner-sign table.
+  return {node_index(i, j, k),         node_index(i + 1, j, k),
+          node_index(i + 1, j + 1, k), node_index(i, j + 1, k),
+          node_index(i, j, k + 1),     node_index(i + 1, j, k + 1),
+          node_index(i + 1, j + 1, k + 1), node_index(i, j + 1, k + 1)};
+}
+
+std::uint64_t Subdomain::assemble() {
+  std::uint64_t flops = 0;
+  const Voigt6x6 c = elastic_matrix(cfg_.material);
+  const ElementCoords coords = unit_cube_coords(cfg_.h);
+  const ElementMatrix ke = Hex8::stiffness(coords, c, &flops);
+  // All elements are geometrically identical on a structured grid, so one
+  // element stiffness serves the whole mesh; count flops as if each
+  // element were assembled (heterogeneous materials would require it).
+  flops *= static_cast<std::uint64_t>(element_count());
+
+  std::vector<std::map<int, double>> acc(
+      static_cast<std::size_t>(dof_count()));
+  for (int k = 0; k < cfg_.nz; ++k) {
+    for (int j = 0; j < cfg_.ny; ++j) {
+      for (int i = 0; i < cfg_.nx; ++i) {
+        const auto nodes = element_nodes(i, j, k);
+        for (int a = 0; a < 8; ++a) {
+          for (int da = 0; da < 3; ++da) {
+            const int row = 3 * nodes[static_cast<std::size_t>(a)] + da;
+            auto& row_map = acc[static_cast<std::size_t>(row)];
+            for (int b = 0; b < 8; ++b) {
+              for (int db = 0; db < 3; ++db) {
+                const int col = 3 * nodes[static_cast<std::size_t>(b)] + db;
+                const double v =
+                    ke[static_cast<std::size_t>(3 * a + da)]
+                      [static_cast<std::size_t>(3 * b + db)];
+                if (v != 0.0) row_map[col] += v;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  rows_.assign(static_cast<std::size_t>(dof_count()), {});
+  for (int r = 0; r < dof_count(); ++r) {
+    auto& out = rows_[static_cast<std::size_t>(r)];
+    out.reserve(acc[static_cast<std::size_t>(r)].size());
+    for (const auto& [col, v] : acc[static_cast<std::size_t>(r)]) {
+      out.emplace_back(col, v);
+    }
+  }
+  to_csr();
+  assembled_ = true;
+  return flops;
+}
+
+void Subdomain::to_csr() {
+  csr_.row_ptr.assign(static_cast<std::size_t>(dof_count()) + 1, 0);
+  std::size_t nnz = 0;
+  for (const auto& row : rows_) nnz += row.size();
+  csr_.col.clear();
+  csr_.val.clear();
+  csr_.col.reserve(nnz);
+  csr_.val.reserve(nnz);
+  for (int r = 0; r < dof_count(); ++r) {
+    for (const auto& [col, v] : rows_[static_cast<std::size_t>(r)]) {
+      csr_.col.push_back(col);
+      csr_.val.push_back(v);
+    }
+    csr_.row_ptr[static_cast<std::size_t>(r) + 1] =
+        static_cast<int>(csr_.col.size());
+  }
+}
+
+std::vector<double> Subdomain::apply(const std::vector<double>& v) const {
+  assert(assembled_);
+  assert(static_cast<int>(v.size()) == dof_count());
+  std::vector<double> out(v.size(), 0.0);
+  for (int r = 0; r < dof_count(); ++r) {
+    double acc = 0.0;
+    for (int idx = csr_.row_ptr[static_cast<std::size_t>(r)];
+         idx < csr_.row_ptr[static_cast<std::size_t>(r) + 1]; ++idx) {
+      acc += csr_.val[static_cast<std::size_t>(idx)] *
+             v[static_cast<std::size_t>(csr_.col[static_cast<std::size_t>(idx)])];
+    }
+    out[static_cast<std::size_t>(r)] = acc;
+  }
+  return out;
+}
+
+Subdomain::Solution Subdomain::solve_compression(double uz,
+                                                 int max_iterations,
+                                                 double tolerance) {
+  assert(assembled_ && "call assemble() first");
+  const int n = dof_count();
+
+  // Dirichlet sets: z=0 face fully fixed, z=top face prescribed uz.
+  std::vector<char> fixed(static_cast<std::size_t>(n), 0);
+  std::vector<double> value(static_cast<std::size_t>(n), 0.0);
+  for (int j = 0; j <= cfg_.ny; ++j) {
+    for (int i = 0; i <= cfg_.nx; ++i) {
+      const int bottom = node_index(i, j, 0);
+      for (int d = 0; d < 3; ++d) {
+        fixed[static_cast<std::size_t>(3 * bottom + d)] = 1;
+      }
+      const int top = node_index(i, j, cfg_.nz);
+      fixed[static_cast<std::size_t>(3 * top + 2)] = 1;
+      value[static_cast<std::size_t>(3 * top + 2)] = uz;
+    }
+  }
+
+  // RHS: f = -K_cf * u_c on free dofs.
+  std::vector<double> u(static_cast<std::size_t>(n), 0.0);
+  for (int d = 0; d < n; ++d) {
+    if (fixed[static_cast<std::size_t>(d)]) {
+      u[static_cast<std::size_t>(d)] = value[static_cast<std::size_t>(d)];
+    }
+  }
+  std::vector<double> ku = apply(u);
+  std::vector<double> rhs(static_cast<std::size_t>(n), 0.0);
+  for (int d = 0; d < n; ++d) {
+    rhs[static_cast<std::size_t>(d)] =
+        fixed[static_cast<std::size_t>(d)] ? 0.0
+                                           : -ku[static_cast<std::size_t>(d)];
+  }
+
+  // CG on the free dofs (projected operator: zero fixed components).
+  auto project = [&](std::vector<double>& v) {
+    for (int d = 0; d < n; ++d) {
+      if (fixed[static_cast<std::size_t>(d)]) {
+        v[static_cast<std::size_t>(d)] = 0.0;
+      }
+    }
+  };
+  auto dot = [&](const std::vector<double>& a, const std::vector<double>& b) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+    return s;
+  };
+
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> r = rhs;
+  project(r);
+  std::vector<double> p = r;
+  double rr = dot(r, r);
+  const double rr0 = rr > 0.0 ? rr : 1.0;
+  Solution sol;
+  int it = 0;
+  for (; it < max_iterations && rr > tolerance * tolerance * rr0; ++it) {
+    std::vector<double> ap = apply(p);
+    project(ap);
+    const double alpha = rr / dot(p, ap);
+    for (int d = 0; d < n; ++d) {
+      x[static_cast<std::size_t>(d)] += alpha * p[static_cast<std::size_t>(d)];
+      r[static_cast<std::size_t>(d)] -= alpha * ap[static_cast<std::size_t>(d)];
+    }
+    const double rr_new = dot(r, r);
+    const double beta = rr_new / rr;
+    rr = rr_new;
+    for (int d = 0; d < n; ++d) {
+      p[static_cast<std::size_t>(d)] =
+          r[static_cast<std::size_t>(d)] + beta * p[static_cast<std::size_t>(d)];
+    }
+  }
+  for (int d = 0; d < n; ++d) {
+    sol.u.push_back(fixed[static_cast<std::size_t>(d)]
+                        ? value[static_cast<std::size_t>(d)]
+                        : x[static_cast<std::size_t>(d)]);
+  }
+  sol.cg_iterations = it;
+  sol.residual = std::sqrt(rr / rr0);
+  return sol;
+}
+
+}  // namespace tlb::apps::micropp

@@ -1,0 +1,117 @@
+#include "apps/micropp/workload.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "apps/micropp/hex8.hpp"
+#include "apps/micropp/material.hpp"
+
+namespace tlb::apps::micropp {
+
+namespace {
+/// Address layout of an apprank's (isolated) address space.
+constexpr std::uint64_t kSigmaBase = 1ull << 40;  ///< per-block results
+constexpr std::uint64_t kSigmaBytes = 128;        ///< averaged stress tensor
+}  // namespace
+
+MicroPPWorkload::MicroPPWorkload(MicroPPConfig config)
+    : config_(config), rng_(config.seed) {
+  assert(config_.appranks >= 1 && config_.elements_per_task >= 1);
+
+  // Calibrate task costs by running the real element kernels once.
+  const ElementCoords coords = unit_cube_coords(1.0);
+  const ElasticParams elastic;
+  const Voigt6x6 c = elastic_matrix(elastic);
+  (void)Hex8::stiffness(coords, c, &flops_linear_);
+
+  PlasticParams plastic;
+  plastic.elastic = elastic;
+  ElementVector u{};
+  // A displacement large enough to enter the plastic regime.
+  for (int n = 0; n < 8; ++n) u[static_cast<std::size_t>(3 * n + 2)] = -0.01;
+  std::array<double, 8> alpha{};
+  ElementVector f{};
+  std::uint64_t residual_flops = 0;
+  (void)Hex8::internal_force(coords, plastic, u, alpha, f, &residual_flops);
+  // One Newton step ~ one tangent assembly + one residual evaluation.
+  flops_newton_ = flops_linear_ + residual_flops;
+}
+
+double MicroPPWorkload::nonlinear_fraction(int apprank) const {
+  const int heavy = static_cast<int>(
+      std::ceil(config_.heavy_rank_fraction * config_.appranks));
+  return apprank < heavy ? config_.nonlinear_fraction_heavy
+                         : config_.nonlinear_fraction_light;
+}
+
+std::vector<double> MicroPPWorkload::expected_rank_loads() const {
+  std::vector<double> loads;
+  loads.reserve(static_cast<std::size_t>(config_.appranks));
+  const double mean_newton =
+      0.5 * (config_.newton_iterations_min + config_.newton_iterations_max);
+  for (int a = 0; a < config_.appranks; ++a) {
+    const double f = nonlinear_fraction(a);
+    const double per_elem =
+        (1.0 - f) * static_cast<double>(flops_linear_) +
+        f * mean_newton * static_cast<double>(flops_newton_);
+    loads.push_back(per_elem * config_.elements_per_rank /
+                    config_.core_flops_rate);
+  }
+  return loads;
+}
+
+std::vector<core::TaskSpec> MicroPPWorkload::make_tasks(int apprank,
+                                                        int iteration) {
+  const int blocks = tasks_per_rank();
+  std::vector<core::TaskSpec> specs;
+  specs.reserve(static_cast<std::size_t>(blocks));
+  const double f = nonlinear_fraction(apprank);
+  sim::Rng rng = rng_.fork(static_cast<std::uint64_t>(apprank) * 7919 +
+                           static_cast<std::uint64_t>(iteration));
+  const std::uint64_t block_bytes =
+      config_.bytes_per_element *
+      static_cast<std::uint64_t>(config_.elements_per_task);
+
+  int remaining = config_.elements_per_rank;
+  for (int b = 0; b < blocks; ++b) {
+    const int elems = std::min(config_.elements_per_task, remaining);
+    remaining -= elems;
+    // Per-block element mix; Newton iteration counts vary per block and
+    // iteration the way real plastic zones do.
+    const int nonlinear = static_cast<int>(std::lround(f * elems));
+    const int linear = elems - nonlinear;
+    const auto newton_iters = rng.uniform_int(config_.newton_iterations_min,
+                                              config_.newton_iterations_max);
+    const double flops =
+        static_cast<double>(linear) * static_cast<double>(flops_linear_) +
+        static_cast<double>(nonlinear) * static_cast<double>(newton_iters) *
+            static_cast<double>(flops_newton_);
+
+    core::TaskSpec spec;
+    spec.work = flops / config_.core_flops_rate;
+    const std::uint64_t addr = static_cast<std::uint64_t>(b) * block_bytes;
+    spec.accesses.push_back(
+        nanos::AccessRegion{addr, block_bytes, nanos::AccessMode::InOut});
+    spec.accesses.push_back(nanos::AccessRegion{
+        kSigmaBase + static_cast<std::uint64_t>(b) * kSigmaBytes, kSigmaBytes,
+        nanos::AccessMode::Out});
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+std::vector<nanos::AccessRegion> MicroPPWorkload::barrier_regions(
+    int apprank, int iteration) {
+  (void)apprank;
+  (void)iteration;
+  // The apprank reduces the per-block averaged stresses at the MPI
+  // boundary: those small results must be home.
+  std::vector<nanos::AccessRegion> regions;
+  const int blocks = tasks_per_rank();
+  regions.push_back(nanos::AccessRegion{
+      kSigmaBase, static_cast<std::uint64_t>(blocks) * kSigmaBytes,
+      nanos::AccessMode::In});
+  return regions;
+}
+
+}  // namespace tlb::apps::micropp

@@ -1,0 +1,74 @@
+// MicroPP workload: micro-scale solid mechanics with a linear/non-linear
+// element mix (paper §6.2).
+//
+// Each apprank owns a subdomain of hexahedral elements split into blocks;
+// one task integrates one block. Non-linear (plastic) elements require
+// several Newton iterations, so blocks on "heavy" ranks — those with a
+// high non-linear fraction — cost several times more than linear blocks.
+// Task work is derived from the *measured* flop counts of the real hex8
+// element kernels (hex8.hpp), divided by a nominal core flop rate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/workload.hpp"
+#include "sim/rng.hpp"
+
+namespace tlb::apps::micropp {
+
+struct MicroPPConfig {
+  int appranks = 1;
+  int iterations = 6;
+  int elements_per_rank = 4096;
+  int elements_per_task = 64;
+  /// Fraction of appranks carrying a predominantly non-linear element mix
+  /// (the composite's damaged region is not evenly partitioned).
+  double heavy_rank_fraction = 0.125;
+  double nonlinear_fraction_heavy = 0.8;
+  double nonlinear_fraction_light = 0.05;
+  int newton_iterations_min = 3;
+  int newton_iterations_max = 6;
+  double core_flops_rate = 5e9;  ///< nominal flop/s per core
+  std::uint64_t bytes_per_element = 512;
+  std::uint64_t seed = 11;
+};
+
+class MicroPPWorkload final : public core::Workload {
+ public:
+  explicit MicroPPWorkload(MicroPPConfig config);
+
+  [[nodiscard]] int iteration_count() const override {
+    return config_.iterations;
+  }
+  std::vector<core::TaskSpec> make_tasks(int apprank, int iteration) override;
+  std::vector<nanos::AccessRegion> barrier_regions(int apprank,
+                                                   int iteration) override;
+
+  /// Measured flops of one linear element stiffness assembly.
+  [[nodiscard]] std::uint64_t flops_linear_element() const {
+    return flops_linear_;
+  }
+  /// Measured flops of one non-linear element Newton step (assembly +
+  /// residual evaluation).
+  [[nodiscard]] std::uint64_t flops_newton_step() const {
+    return flops_newton_;
+  }
+  /// Non-linear element fraction of a rank.
+  [[nodiscard]] double nonlinear_fraction(int apprank) const;
+  /// Expected per-iteration load of each rank in core-seconds (for tests).
+  [[nodiscard]] std::vector<double> expected_rank_loads() const;
+
+ private:
+  [[nodiscard]] int tasks_per_rank() const {
+    return (config_.elements_per_rank + config_.elements_per_task - 1) /
+           config_.elements_per_task;
+  }
+
+  MicroPPConfig config_;
+  std::uint64_t flops_linear_ = 0;
+  std::uint64_t flops_newton_ = 0;
+  sim::Rng rng_;
+};
+
+}  // namespace tlb::apps::micropp

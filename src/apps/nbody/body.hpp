@@ -1,0 +1,46 @@
+// Body and 3-vector types for the Barnes–Hut n-body application.
+#pragma once
+
+#include <cmath>
+
+namespace tlb::apps::nbody {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  Vec3& operator*=(double s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+  friend Vec3 operator+(Vec3 a, const Vec3& b) { return a += b; }
+  friend Vec3 operator-(Vec3 a, const Vec3& b) { return a -= b; }
+  friend Vec3 operator*(Vec3 a, double s) { return a *= s; }
+  friend Vec3 operator*(double s, Vec3 a) { return a *= s; }
+
+  [[nodiscard]] double norm2() const { return x * x + y * y + z * z; }
+  [[nodiscard]] double norm() const { return std::sqrt(norm2()); }
+};
+
+struct Body {
+  Vec3 position;
+  Vec3 velocity;
+  double mass = 1.0;
+};
+
+}  // namespace tlb::apps::nbody

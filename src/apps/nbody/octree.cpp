@@ -1,0 +1,144 @@
+#include "apps/nbody/octree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace tlb::apps::nbody {
+
+Octree::Octree(std::span<const Body> bodies, int leaf_capacity)
+    : bodies_(bodies.begin(), bodies.end()), leaf_capacity_(leaf_capacity) {
+  assert(leaf_capacity_ >= 1);
+  if (bodies_.empty()) return;
+
+  // Root cell: cube bounding all bodies.
+  Vec3 lo = bodies_.front().position;
+  Vec3 hi = lo;
+  for (const Body& b : bodies_) {
+    lo.x = std::min(lo.x, b.position.x);
+    lo.y = std::min(lo.y, b.position.y);
+    lo.z = std::min(lo.z, b.position.z);
+    hi.x = std::max(hi.x, b.position.x);
+    hi.y = std::max(hi.y, b.position.y);
+    hi.z = std::max(hi.z, b.position.z);
+  }
+  Node root;
+  root.center = 0.5 * (lo + hi);
+  root.half = 0.5 * std::max({hi.x - lo.x, hi.y - lo.y, hi.z - lo.z});
+  root.half = std::max(root.half, 1e-12) * 1.0000001;  // avoid boundary cases
+  nodes_.push_back(root);
+
+  std::vector<int> all(bodies_.size());
+  std::iota(all.begin(), all.end(), 0);
+  build(0, std::move(all), 0);
+}
+
+void Octree::build(int node, std::vector<int> indices, int depth) {
+  // Centre of mass of this cell.
+  Node& n0 = nodes_[static_cast<std::size_t>(node)];
+  double mass = 0.0;
+  Vec3 com;
+  for (int idx : indices) {
+    const Body& b = bodies_[static_cast<std::size_t>(idx)];
+    mass += b.mass;
+    com += b.mass * b.position;
+  }
+  n0.mass = mass;
+  n0.com = mass > 0.0 ? (1.0 / mass) * com : n0.center;
+
+  if (static_cast<int>(indices.size()) <= leaf_capacity_ ||
+      depth >= kMaxDepth) {
+    n0.bodies = std::move(indices);
+    return;
+  }
+
+  // Partition into octants.
+  std::array<std::vector<int>, 8> parts;
+  const Vec3 c = n0.center;
+  for (int idx : indices) {
+    const Vec3& p = bodies_[static_cast<std::size_t>(idx)].position;
+    const int oct =
+        (p.x >= c.x ? 1 : 0) | (p.y >= c.y ? 2 : 0) | (p.z >= c.z ? 4 : 0);
+    parts[static_cast<std::size_t>(oct)].push_back(idx);
+  }
+
+  const int first = static_cast<int>(nodes_.size());
+  nodes_[static_cast<std::size_t>(node)].first_child = first;
+  const double h = nodes_[static_cast<std::size_t>(node)].half * 0.5;
+  for (int o = 0; o < 8; ++o) {
+    Node child;
+    child.center.x = c.x + (o & 1 ? h : -h);
+    child.center.y = c.y + (o & 2 ? h : -h);
+    child.center.z = c.z + (o & 4 ? h : -h);
+    child.half = h;
+    nodes_.push_back(child);
+  }
+  for (int o = 0; o < 8; ++o) {
+    if (!parts[static_cast<std::size_t>(o)].empty()) {
+      build(first + o, std::move(parts[static_cast<std::size_t>(o)]),
+            depth + 1);
+    }
+  }
+}
+
+namespace {
+Vec3 pair_accel(const Vec3& from, const Vec3& to, double mass, double eps) {
+  const Vec3 d = to - from;
+  const double r2 = d.norm2() + eps * eps;
+  const double inv = 1.0 / (r2 * std::sqrt(r2));
+  return mass * inv * d;
+}
+}  // namespace
+
+void Octree::accumulate(int node, const Body& body, double theta, double eps,
+                        ForceResult& out) const {
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  if (n.mass <= 0.0) return;
+
+  if (n.first_child < 0) {
+    // Leaf: direct sum over its bodies.
+    for (int idx : n.bodies) {
+      const Body& other = bodies_[static_cast<std::size_t>(idx)];
+      const Vec3 d = other.position - body.position;
+      if (d.norm2() == 0.0) continue;  // self
+      out.acceleration += pair_accel(body.position, other.position,
+                                     other.mass, eps);
+      ++out.interactions;
+    }
+    return;
+  }
+  const double dist = (n.com - body.position).norm();
+  if (dist > 0.0 && (2.0 * n.half) / dist < theta) {
+    // Far cell: treat as a point mass.
+    out.acceleration += pair_accel(body.position, n.com, n.mass, eps);
+    ++out.interactions;
+    return;
+  }
+  for (int o = 0; o < 8; ++o) {
+    accumulate(n.first_child + o, body, theta, eps, out);
+  }
+}
+
+Octree::ForceResult Octree::acceleration(const Body& body, double theta,
+                                         double eps) const {
+  ForceResult out;
+  if (!nodes_.empty()) accumulate(0, body, theta, eps, out);
+  return out;
+}
+
+Vec3 Octree::direct_acceleration(std::span<const Body> bodies,
+                                 const Body& body, double eps) {
+  Vec3 acc;
+  for (const Body& other : bodies) {
+    const Vec3 d = other.position - body.position;
+    if (d.norm2() == 0.0) continue;
+    acc += pair_accel(body.position, other.position, other.mass, eps);
+  }
+  return acc;
+}
+
+double Octree::total_mass() const {
+  return nodes_.empty() ? 0.0 : nodes_.front().mass;
+}
+
+}  // namespace tlb::apps::nbody

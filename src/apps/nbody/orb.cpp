@@ -1,0 +1,103 @@
+#include "apps/nbody/orb.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace tlb::apps::nbody {
+
+namespace {
+
+void bisect(std::span<const Body> bodies, std::span<const double> weights,
+            std::vector<int>& indices, int first_part, int parts, int chunk,
+            std::vector<int>& out) {
+  if (parts == 1) {
+    for (int idx : indices) out[static_cast<std::size_t>(idx)] = first_part;
+    return;
+  }
+  // Widest axis of this subset's bounding box.
+  Vec3 lo = bodies[static_cast<std::size_t>(indices.front())].position;
+  Vec3 hi = lo;
+  for (int idx : indices) {
+    const Vec3& p = bodies[static_cast<std::size_t>(idx)].position;
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    lo.z = std::min(lo.z, p.z);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+    hi.z = std::max(hi.z, p.z);
+  }
+  const double dx = hi.x - lo.x;
+  const double dy = hi.y - lo.y;
+  const double dz = hi.z - lo.z;
+  int axis = 0;
+  if (dy >= dx && dy >= dz) {
+    axis = 1;
+  } else if (dz >= dx && dz >= dy) {
+    axis = 2;
+  }
+  auto coord = [&](int idx) {
+    const Vec3& p = bodies[static_cast<std::size_t>(idx)].position;
+    return axis == 0 ? p.x : (axis == 1 ? p.y : p.z);
+  };
+  std::sort(indices.begin(), indices.end(),
+            [&](int a, int b) { return coord(a) < coord(b); });
+
+  // Split ranks in half; the weight cut targets the left share.
+  const int left_parts = parts / 2;
+  const int right_parts = parts - left_parts;
+  double total = 0.0;
+  for (int idx : indices) total += weights[static_cast<std::size_t>(idx)];
+  const double target = total * left_parts / parts;
+
+  double acc = 0.0;
+  std::size_t cut = 0;
+  while (cut < indices.size() - 1 && acc < target) {
+    acc += weights[static_cast<std::size_t>(indices[cut])];
+    ++cut;
+  }
+  // Round to the split granularity, keeping at least one body (and at
+  // least `left_parts`/`right_parts` bodies where possible) per side.
+  if (chunk > 1) {
+    cut = (cut + static_cast<std::size_t>(chunk) / 2) /
+          static_cast<std::size_t>(chunk) * static_cast<std::size_t>(chunk);
+  }
+  const std::size_t min_left = static_cast<std::size_t>(left_parts);
+  const std::size_t max_left = indices.size() - static_cast<std::size_t>(right_parts);
+  cut = std::max(min_left, std::min(cut, max_left));
+
+  std::vector<int> left(indices.begin(),
+                        indices.begin() + static_cast<std::ptrdiff_t>(cut));
+  std::vector<int> right(indices.begin() + static_cast<std::ptrdiff_t>(cut),
+                         indices.end());
+  bisect(bodies, weights, left, first_part, left_parts, chunk, out);
+  bisect(bodies, weights, right, first_part + left_parts, right_parts, chunk,
+         out);
+}
+
+}  // namespace
+
+std::vector<int> orb_partition(std::span<const Body> bodies,
+                               std::span<const double> weights, int parts,
+                               int chunk) {
+  assert(bodies.size() == weights.size());
+  assert(parts >= 1 && chunk >= 1);
+  assert(static_cast<int>(bodies.size()) >= parts &&
+         "need at least one body per rank");
+  std::vector<int> out(bodies.size(), 0);
+  std::vector<int> indices(bodies.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  bisect(bodies, weights, indices, 0, parts, chunk, out);
+  return out;
+}
+
+std::vector<double> part_weights(std::span<const int> assignment,
+                                 std::span<const double> weights, int parts) {
+  std::vector<double> out(static_cast<std::size_t>(parts), 0.0);
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    out[static_cast<std::size_t>(assignment[i])] += weights[i];
+  }
+  return out;
+}
+
+}  // namespace tlb::apps::nbody

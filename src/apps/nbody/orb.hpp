@@ -1,0 +1,32 @@
+// Orthogonal Recursive Bisection (paper §6.2: the n-body code uses ORB to
+// equalise *predicted* work across ranks).
+//
+// Recursively splits the body set along the widest coordinate axis so
+// that each side's total weight matches its share of ranks. The weights
+// are interaction counts from the previous timestep — a cost model that is
+// deliberately blind to node speed, which is exactly why a slow node
+// defeats it (paper §7.1, Fig 6(c)).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "apps/nbody/body.hpp"
+
+namespace tlb::apps::nbody {
+
+/// Assigns each body to one of `parts` ranks. `weights[i]` is the
+/// predicted cost of body i (>= 0). Returns the rank id per body.
+/// `chunk` rounds every bisection cut to a multiple of `chunk` bodies —
+/// real ORB implementations split at cell/bucket granularity, and that
+/// coarseness is the residual imbalance DLB then picks up (paper §7.1).
+std::vector<int> orb_partition(std::span<const Body> bodies,
+                               std::span<const double> weights, int parts,
+                               int chunk = 1);
+
+/// Per-part total weight under an assignment (diagnostic / tests).
+std::vector<double> part_weights(std::span<const int> assignment,
+                                 std::span<const double> weights, int parts);
+
+}  // namespace tlb::apps::nbody

@@ -1,0 +1,165 @@
+#include "apps/nbody/workload.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "apps/nbody/octree.hpp"
+#include "apps/nbody/orb.hpp"
+
+namespace tlb::apps::nbody {
+
+namespace {
+constexpr std::uint64_t kPosBase = 0;
+constexpr std::uint64_t kForceBase = 1ull << 40;
+constexpr std::uint64_t kBytesPerBody = 24;  // 3 doubles
+}  // namespace
+
+NBodyWorkload::NBodyWorkload(NBodyConfig config)
+    : config_(config), rng_(config.seed) {
+  assert(config_.appranks >= 1);
+  assert(config_.bodies >= config_.appranks * config_.blocks_per_rank &&
+         "need at least one body per task block");
+
+  // Initial conditions: a dense central clump plus a diffuse background —
+  // the clustered mass concentrates interactions, which is what makes
+  // Barnes-Hut load uneven and keeps it drifting as the clump evolves.
+  bodies_.resize(static_cast<std::size_t>(config_.bodies));
+  const int clustered =
+      static_cast<int>(config_.cluster_fraction * config_.bodies);
+  for (int i = 0; i < config_.bodies; ++i) {
+    Body& b = bodies_[static_cast<std::size_t>(i)];
+    if (i < clustered) {
+      // Plummer-like ball of radius ~0.08 at the centre.
+      const double r = 0.08 * std::pow(rng_.uniform(0.0, 1.0), 1.0 / 3.0);
+      const double phi = rng_.uniform(0.0, 2.0 * 3.14159265358979);
+      const double cth = rng_.uniform(-1.0, 1.0);
+      const double sth = std::sqrt(std::max(0.0, 1.0 - cth * cth));
+      b.position = {0.5 + r * sth * std::cos(phi),
+                    0.5 + r * sth * std::sin(phi), 0.5 + r * cth};
+    } else {
+      b.position = {rng_.uniform(0.0, 1.0), rng_.uniform(0.0, 1.0),
+                    rng_.uniform(0.0, 1.0)};
+    }
+    b.velocity = {rng_.uniform(-0.05, 0.05), rng_.uniform(-0.05, 0.05),
+                  rng_.uniform(-0.05, 0.05)};
+    b.mass = 1.0 / config_.bodies;
+  }
+
+  compute_forces_and_weights();
+  repartition();
+}
+
+void NBodyWorkload::compute_forces_and_weights() {
+  const Octree tree(bodies_);
+  accel_.resize(bodies_.size());
+  weights_.resize(bodies_.size());
+  for (std::size_t i = 0; i < bodies_.size(); ++i) {
+    const auto fr = tree.acceleration(bodies_[i], config_.theta);
+    accel_[i] = fr.acceleration;
+    weights_[i] = static_cast<double>(fr.interactions);
+  }
+}
+
+void NBodyWorkload::repartition() {
+  assignment_ = orb_partition(bodies_, weights_, config_.appranks,
+                              config_.orb_chunk);
+  rank_bodies_.assign(static_cast<std::size_t>(config_.appranks), {});
+  for (std::size_t i = 0; i < assignment_.size(); ++i) {
+    rank_bodies_[static_cast<std::size_t>(assignment_[i])].push_back(
+        static_cast<int>(i));
+  }
+}
+
+std::vector<double> NBodyWorkload::rank_loads() const {
+  std::vector<double> loads(static_cast<std::size_t>(config_.appranks), 0.0);
+  for (std::size_t i = 0; i < assignment_.size(); ++i) {
+    loads[static_cast<std::size_t>(assignment_[i])] +=
+        weights_[i] * config_.seconds_per_interaction;
+  }
+  return loads;
+}
+
+double NBodyWorkload::kinetic_energy() const {
+  double e = 0.0;
+  for (const Body& b : bodies_) e += 0.5 * b.mass * b.velocity.norm2();
+  return e;
+}
+
+std::vector<core::TaskSpec> NBodyWorkload::make_tasks(int apprank,
+                                                      int iteration) {
+  (void)iteration;
+  const auto& mine = rank_bodies_.at(static_cast<std::size_t>(apprank));
+  const int blocks = std::min<int>(config_.blocks_per_rank,
+                                   static_cast<int>(mine.size()));
+  std::vector<core::TaskSpec> specs;
+  if (blocks == 0) return specs;
+  specs.reserve(static_cast<std::size_t>(2 * blocks));
+
+  const std::uint64_t all_pos_bytes =
+      static_cast<std::uint64_t>(config_.bodies) * kBytesPerBody;
+
+  // ALL force tasks first (they read the positions snapshot), then the
+  // update tasks (they overwrite position slices). Creating them in this
+  // order gives the correct Barnes-Hut dependency shape: every force task
+  // of a step runs before any update of that step (WAR), forces are
+  // mutually parallel, and next step's forces wait for this step's
+  // updates (RAW).
+  std::size_t start = 0;
+  for (int blk = 0; blk < blocks; ++blk) {
+    const std::size_t end = mine.size() * static_cast<std::size_t>(blk + 1) /
+                            static_cast<std::size_t>(blocks);
+    double work = 0.0;
+    for (std::size_t i = start; i < end; ++i) {
+      work += weights_[static_cast<std::size_t>(mine[i])] *
+              config_.seconds_per_interaction;
+    }
+    const std::uint64_t slice_off = start * kBytesPerBody;
+    const std::uint64_t slice_len = (end - start) * kBytesPerBody;
+
+    core::TaskSpec force;
+    force.work = work;
+    force.offloadable = true;  // the paper's Fig 3 kernel
+    force.accesses.push_back(nanos::AccessRegion{
+        kPosBase, all_pos_bytes, nanos::AccessMode::In});
+    force.accesses.push_back(nanos::AccessRegion{
+        kForceBase + slice_off, slice_len, nanos::AccessMode::Out});
+    specs.push_back(std::move(force));
+    start = end;
+  }
+  start = 0;
+  for (int blk = 0; blk < blocks; ++blk) {
+    const std::size_t end = mine.size() * static_cast<std::size_t>(blk + 1) /
+                            static_cast<std::size_t>(blocks);
+    const std::uint64_t slice_off = start * kBytesPerBody;
+    const std::uint64_t slice_len = (end - start) * kBytesPerBody;
+
+    core::TaskSpec update;
+    update.work = config_.update_task_cost;
+    update.offloadable = false;  // feeds the MPI position exchange
+    update.accesses.push_back(nanos::AccessRegion{
+        kForceBase + slice_off, slice_len, nanos::AccessMode::In});
+    update.accesses.push_back(nanos::AccessRegion{
+        kPosBase + slice_off, slice_len, nanos::AccessMode::InOut});
+    specs.push_back(std::move(update));
+    start = end;
+  }
+  return specs;
+}
+
+void NBodyWorkload::on_iteration_done(int iteration,
+                                      const std::vector<double>& times) {
+  (void)iteration;
+  (void)times;
+  // Advance the real physics one leapfrog step with the current
+  // accelerations, then refresh forces/weights and re-partition — ORB
+  // runs every timestep, as in the original application.
+  for (std::size_t i = 0; i < bodies_.size(); ++i) {
+    bodies_[i].velocity += config_.dt * accel_[i];
+    bodies_[i].position += config_.dt * bodies_[i].velocity;
+  }
+  compute_forces_and_weights();
+  repartition();
+}
+
+}  // namespace tlb::apps::nbody

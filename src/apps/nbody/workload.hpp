@@ -1,0 +1,72 @@
+// n-body workload: Barnes–Hut with ORB rank partitioning (paper §6.2).
+//
+// The workload holds the real body system. Each iteration:
+//   1. ORB assigns bodies to appranks using last step's interaction counts
+//      (speed-blind, like the original application);
+//   2. each apprank creates one offloadable force task per body block
+//      (cost = real Barnes–Hut interaction count x seconds/interaction)
+//      plus non-offloadable update tasks that integrate its bodies;
+//   3. between iterations the physics advances with a real Barnes–Hut
+//      force evaluation + leapfrog step, refreshing the interaction
+//      counts (so the load profile drifts as the system evolves).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/nbody/body.hpp"
+#include "core/workload.hpp"
+#include "sim/rng.hpp"
+
+namespace tlb::apps::nbody {
+
+struct NBodyConfig {
+  int appranks = 1;
+  int iterations = 10;
+  int bodies = 1536;
+  int blocks_per_rank = 24;       ///< force tasks per apprank
+  double theta = 0.5;             ///< Barnes-Hut opening angle
+  double dt = 1e-3;               ///< leapfrog timestep
+  double seconds_per_interaction = 2e-6;  ///< task-cost scale
+  double update_task_cost = 1e-4; ///< per update task (non-offloadable)
+  double cluster_fraction = 0.3;  ///< bodies in the dense central clump
+  /// ORB split granularity in bodies (real ORB splits at cell/bucket
+  /// granularity; the rounding error is the residual per-rank imbalance).
+  int orb_chunk = 1;
+  std::uint64_t seed = 5;
+};
+
+class NBodyWorkload final : public core::Workload {
+ public:
+  explicit NBodyWorkload(NBodyConfig config);
+
+  [[nodiscard]] int iteration_count() const override {
+    return config_.iterations;
+  }
+  std::vector<core::TaskSpec> make_tasks(int apprank, int iteration) override;
+  void on_iteration_done(int iteration,
+                         const std::vector<double>& apprank_times) override;
+
+  // Introspection for tests / examples.
+  [[nodiscard]] const std::vector<Body>& bodies() const { return bodies_; }
+  [[nodiscard]] const std::vector<double>& interaction_weights() const {
+    return weights_;
+  }
+  /// Per-apprank predicted load of the current partition (core-seconds).
+  [[nodiscard]] std::vector<double> rank_loads() const;
+  [[nodiscard]] double kinetic_energy() const;
+
+ private:
+  void compute_forces_and_weights();
+  void repartition();
+
+  NBodyConfig config_;
+  std::vector<Body> bodies_;
+  std::vector<Vec3> accel_;
+  std::vector<double> weights_;     ///< per-body interaction counts
+  std::vector<int> assignment_;     ///< body -> apprank
+  std::vector<std::vector<int>> rank_bodies_;  ///< apprank -> body ids
+  sim::Rng rng_;
+};
+
+}  // namespace tlb::apps::nbody

@@ -1,0 +1,99 @@
+#include "apps/synthetic.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "metrics/imbalance.hpp"
+
+namespace tlb::apps {
+
+SyntheticWorkload::SyntheticWorkload(SyntheticConfig config)
+    : config_(config), rng_(config.seed) {
+  const int a = config_.appranks;
+  const double base = config_.base_duration;
+  const double imb = config_.imbalance;
+  if (a < 1 || base <= 0.0) {
+    throw std::invalid_argument("synthetic: bad appranks/base_duration");
+  }
+  if (imb < 1.0 || imb > static_cast<double>(a)) {
+    // Eq. 2: 1 <= imbalance <= #appranks.
+    throw std::invalid_argument("synthetic: imbalance out of [1, appranks]");
+  }
+  means_.assign(static_cast<std::size_t>(a), base);
+  if (a == 1 || imb == 1.0) return;
+
+  const double worst = base * imb;
+  means_[static_cast<std::size_t>(config_.worst_rank)] = worst;
+  // Remaining ranks: mean mu so the overall average is exactly `base`,
+  // values uniform around mu within (0, worst), then recentred to the
+  // exact mean ("uniformly distributed over the space of values
+  // respecting the constraints", §6.2).
+  const double mu = base * (a - imb) / (a - 1);
+  assert(mu >= 0.0);
+  std::vector<std::size_t> others;
+  for (int r = 0; r < a; ++r) {
+    if (r != config_.worst_rank) others.push_back(static_cast<std::size_t>(r));
+  }
+  std::vector<double> noise(others.size());
+  double noise_mean = 0.0;
+  for (double& v : noise) {
+    v = rng_.uniform(-1.0, 1.0);
+    noise_mean += v;
+  }
+  noise_mean /= static_cast<double>(noise.size());
+  double spread = 0.0;
+  for (double& v : noise) {
+    v -= noise_mean;  // exact zero sum => exact mean mu below
+    spread = std::max(spread, std::abs(v));
+  }
+  // Scale so every value stays strictly inside (0, worst).
+  const double head = worst - mu;
+  const double floor_gap = mu;
+  const double scale =
+      spread > 0.0 ? 0.9 * std::min(head, floor_gap) / spread : 0.0;
+  for (std::size_t i = 0; i < others.size(); ++i) {
+    means_[others[i]] = mu + scale * noise[i];
+  }
+  if (config_.least_rank >= 0 && config_.least_rank != config_.worst_rank) {
+    // Swap the minimum onto the requested rank.
+    std::size_t min_idx = others.front();
+    for (std::size_t idx : others) {
+      if (means_[idx] < means_[min_idx]) min_idx = idx;
+    }
+    std::swap(means_[static_cast<std::size_t>(config_.least_rank)],
+              means_[min_idx]);
+  }
+}
+
+double SyntheticWorkload::realized_imbalance() const {
+  return metrics::imbalance(means_);
+}
+
+std::vector<core::TaskSpec> SyntheticWorkload::make_tasks(int apprank,
+                                                          int iteration) {
+  (void)iteration;
+  std::vector<core::TaskSpec> specs;
+  specs.reserve(static_cast<std::size_t>(config_.tasks_per_rank));
+  double mean = means_.at(static_cast<std::size_t>(apprank));
+  if (apprank == config_.slow_rank) mean *= config_.slow_factor;
+  const double j = config_.duration_jitter;
+  sim::Rng rng = rng_.fork(static_cast<std::uint64_t>(apprank) * 1000003 +
+                           static_cast<std::uint64_t>(iteration));
+  for (int i = 0; i < config_.tasks_per_rank; ++i) {
+    core::TaskSpec spec;
+    spec.work = mean * rng.uniform(1.0 - j, 1.0 + j);
+    // Each task updates its own block; the same block across iterations
+    // forms a RAW chain (ordered anyway by the iteration barrier).
+    const std::uint64_t addr =
+        static_cast<std::uint64_t>(i) * config_.bytes_per_task;
+    spec.accesses.push_back(nanos::AccessRegion{
+        addr, config_.bytes_per_task, nanos::AccessMode::InOut});
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+}  // namespace tlb::apps

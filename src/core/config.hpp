@@ -1,0 +1,54 @@
+// Configuration of a ClusterRuntime execution.
+#pragma once
+
+#include <cstdint>
+
+#include "core/policies.hpp"
+#include "sim/cluster_spec.hpp"
+#include "sim/time.hpp"
+
+namespace tlb::core {
+
+struct RuntimeConfig {
+  sim::ClusterSpec cluster;      ///< nodes, cores, speeds, interconnect
+  int appranks_per_node = 1;     ///< MPI ranks with home on each node
+  int degree = 1;                ///< offloading degree (1 = no offloading)
+  PolicyKind policy = PolicyKind::Global;  ///< DROM allocation policy
+  bool lewi = true;              ///< enable fine-grained lend/borrow
+  bool drom = true;              ///< enable coarse-grained ownership moves
+
+  /// Global solver invocation period (paper §5.4.2: every two seconds).
+  sim::SimTime global_period = 2.0;
+  /// Local convergence adjustment period (continuous in the paper; a short
+  /// period approximates that).
+  sim::SimTime local_period = 0.1;
+  /// Modelled wall-clock cost of one global solve (paper: ~57 ms on 32
+  /// nodes); the plan is applied after this delay. 0 = instantaneous.
+  sim::SimTime solver_latency = 0.0;
+
+  /// Scheduler in-flight threshold per owned core (paper §5.5: two tasks
+  /// per core — one running, one prefetching).
+  int inflight_per_core = 2;
+
+  /// Friction of running a task on a LeWI-borrowed core (CPU-mask
+  /// rebinding, runtime wake-up, no prefetch pipeline): added as occupied
+  /// -but-not-busy time at each task start on a core the worker does not
+  /// own. This is what keeps borrowed-core utilisation "well under 100%"
+  /// (paper §5.5/§7.4) while DROM-owned cores run at full efficiency.
+  sim::SimTime borrowed_core_overhead = 0.020;
+
+  /// Exponential smoothing of the per-worker busy-core estimates fed to
+  /// the DROM policies: estimate = s * previous + (1-s) * window average.
+  /// Damps the allocate/starve oscillation when iteration times are of
+  /// the same order as the policy period. 0 = no smoothing.
+  double busy_smoothing = 0.5;
+
+  std::uint64_t seed = 42;       ///< expander generation seed
+  bool record_traces = true;     ///< keep busy/owned series for figures
+
+  [[nodiscard]] bool drom_active() const {
+    return drom && policy != PolicyKind::None;
+  }
+};
+
+}  // namespace tlb::core

@@ -1,0 +1,44 @@
+// Outcome of a ClusterRuntime execution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tlb::core {
+
+struct RunResult {
+  /// Simulated time at which the last apprank completed its last
+  /// iteration (the paper's execution time / time-to-solution).
+  double makespan = 0.0;
+  /// Global barrier-to-barrier duration of each iteration.
+  std::vector<double> iteration_times;
+  /// Lower bound with perfect load balance: per iteration, total work
+  /// divided by total compute capacity (cores x speed), summed.
+  double perfect_time = 0.0;
+
+  // Offloading statistics.
+  std::uint64_t tasks_total = 0;
+  std::uint64_t tasks_offloaded = 0;   ///< executed off the home node
+  double work_total = 0.0;
+  double work_offloaded = 0.0;
+  std::uint64_t transfer_bytes = 0;    ///< offload input data moved
+  std::uint64_t control_messages = 0;  ///< offload/finish notifications
+
+  // DLB statistics.
+  std::uint64_t lewi_lends = 0;
+  std::uint64_t lewi_borrows = 0;
+  std::uint64_t lewi_reclaims = 0;
+  std::uint64_t drom_moves = 0;
+
+  std::uint64_t events_fired = 0;      ///< simulator events (diagnostic)
+
+  [[nodiscard]] double offload_fraction() const {
+    return work_total > 0.0 ? work_offloaded / work_total : 0.0;
+  }
+  /// makespan relative to the perfect-balance bound (>= 1).
+  [[nodiscard]] double vs_perfect() const {
+    return perfect_time > 0.0 ? makespan / perfect_time : 0.0;
+  }
+};
+
+}  // namespace tlb::core

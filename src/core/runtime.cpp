@@ -1,0 +1,502 @@
+#include "core/runtime.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <string>
+#include <limits>
+
+namespace tlb::core {
+
+namespace {
+
+/// Applies an ownership plan directly (initial division, bypassing the
+/// DromModule enable flag: the startup split of §5.4 always happens).
+void force_plan(dlb::NodeCores& cores,
+                const std::vector<std::pair<dlb::WorkerId, int>>& node_plan) {
+  int cursor = 0;
+  for (const auto& [w, count] : node_plan) {
+    for (int k = 0; k < count; ++k) {
+      cores.set_owner(cursor++, w);
+    }
+  }
+  assert(cursor == cores.core_count() && "plan must cover every core");
+}
+
+}  // namespace
+
+ClusterRuntime::ClusterRuntime(RuntimeConfig config)
+    : config_(std::move(config)) {
+  graph::ExpanderParams params;
+  params.nodes = config_.cluster.node_count();
+  params.appranks_per_node = config_.appranks_per_node;
+  params.degree = config_.degree;
+  params.seed = config_.seed;
+  expander_ = graph::build_expander(params);
+  topology_ = std::make_unique<Topology>(expander_.graph,
+                                         config_.appranks_per_node);
+
+  // Appranks communicate over vmpi from their home nodes.
+  std::vector<int> rank_to_node(
+      static_cast<std::size_t>(topology_->apprank_count()));
+  for (int a = 0; a < topology_->apprank_count(); ++a) {
+    rank_to_node[static_cast<std::size_t>(a)] = topology_->home_node(a);
+  }
+  app_comm_ = std::make_unique<vmpi::Communicator>(
+      engine_, config_.cluster.link, std::move(rank_to_node));
+
+  node_cores_.reserve(static_cast<std::size_t>(topology_->node_count()));
+  lewi_.reserve(node_cores_.capacity());
+  drom_.reserve(node_cores_.capacity());
+  for (int n = 0; n < topology_->node_count(); ++n) {
+    const int cores = config_.cluster.nodes[static_cast<std::size_t>(n)].cores;
+    const auto& residents = topology_->workers_on_node(n);
+    assert(!residents.empty());
+    if (static_cast<int>(residents.size()) > cores) {
+      throw std::invalid_argument(
+          "ClusterRuntime: node " + std::to_string(n) + " hosts " +
+          std::to_string(residents.size()) + " workers but has only " +
+          std::to_string(cores) +
+          " cores; lower the offloading degree or appranks per node");
+    }
+    node_cores_.push_back(
+        std::make_unique<dlb::NodeCores>(cores, residents.front()));
+    lewi_.push_back(
+        std::make_unique<dlb::LewiModule>(*node_cores_.back(), config_.lewi));
+    drom_.push_back(std::make_unique<dlb::DromModule>(*node_cores_.back(),
+                                                      config_.drom_active()));
+  }
+
+  talp_ = std::make_unique<dlb::TalpModule>(
+      [this] { return engine_.now(); }, topology_->worker_count());
+  recorder_ = std::make_unique<trace::Recorder>(topology_->node_count(),
+                                                topology_->apprank_count());
+  workers_.resize(static_cast<std::size_t>(topology_->worker_count()));
+  appranks_.resize(static_cast<std::size_t>(topology_->apprank_count()));
+}
+
+RunResult ClusterRuntime::run(Workload& workload) {
+  workload_ = &workload;
+
+  // Initial ownership: one core per helper, the rest split among the
+  // node's appranks (§5.4).
+  std::vector<int> node_core_counts;
+  node_core_counts.reserve(config_.cluster.nodes.size());
+  for (const auto& n : config_.cluster.nodes) node_core_counts.push_back(n.cores);
+  const OwnershipPlan initial = initial_plan(*topology_, node_core_counts);
+  for (int n = 0; n < topology_->node_count(); ++n) {
+    force_plan(*node_cores_[static_cast<std::size_t>(n)],
+               initial[static_cast<std::size_t>(n)]);
+  }
+  record_ownership();
+
+  for (int a = 0; a < topology_->apprank_count(); ++a) {
+    ApprankState& st = appranks_[static_cast<std::size_t>(a)];
+    st.deps = std::make_unique<nanos::DependencyGraph>(pool_);
+    st.locations =
+        std::make_unique<nanos::DataLocations>(topology_->home_node(a));
+  }
+
+  if (config_.drom_active()) schedule_policy_tick();
+  start_iteration_all();
+  engine_.run();
+
+  // Collect statistics.
+  result_.tasks_total = recorder_->tasks_total();
+  result_.tasks_offloaded = recorder_->tasks_offloaded();
+  result_.work_total = recorder_->work_total();
+  result_.work_offloaded = recorder_->work_offloaded();
+  for (const auto& lw : lewi_) {
+    result_.lewi_lends += lw->lends();
+    result_.lewi_borrows += lw->borrows();
+    result_.lewi_reclaims += lw->reclaims();
+  }
+  for (const auto& dm : drom_) result_.drom_moves += dm->ownership_changes();
+  result_.events_fired = engine_.events_fired();
+  return result_;
+}
+
+// --- SPMD iteration orchestration -------------------------------------------
+
+void ClusterRuntime::start_iteration_all() {
+  double iteration_work = 0.0;
+  for (int a = 0; a < topology_->apprank_count(); ++a) {
+    ApprankState& st = appranks_[static_cast<std::size_t>(a)];
+    st.iteration_start = engine_.now();
+    const auto specs = workload_->make_tasks(a, st.iteration);
+    st.outstanding = specs.size();
+    for (const TaskSpec& spec : specs) {
+      iteration_work += spec.work;
+      const nanos::TaskId id =
+          pool_.create(a, spec.work, spec.accesses, spec.offloadable);
+      nanos::Task& t = pool_.get(id);
+      t.created_at = engine_.now();
+      if (st.deps->register_task(id)) {
+        t.ready_at = engine_.now();
+        on_task_ready(id);
+      }
+    }
+    if (st.outstanding == 0) enter_barrier(a);
+  }
+  result_.perfect_time += iteration_work / config_.cluster.total_capacity();
+  for (int n = 0; n < topology_->node_count(); ++n) kick_node(n);
+}
+
+void ClusterRuntime::enter_barrier(int apprank) {
+  ApprankState& st = appranks_[static_cast<std::size_t>(apprank)];
+  st.taskwait_done = engine_.now();
+  // The apprank's MPI exchange runs in non-offloadable context on the home
+  // node: pull any remote result data home first (§4, §3.2 no automatic
+  // write-back — this is the point where values are actually needed).
+  const auto regions = workload_->barrier_regions(apprank, st.iteration);
+  const std::uint64_t bytes =
+      st.locations->pull(regions, topology_->home_node(apprank));
+  sim::SimTime delay = 0.0;
+  if (bytes > 0) {
+    delay = config_.cluster.link.transfer_time(bytes);
+    result_.transfer_bytes += bytes;
+  }
+  engine_.after(delay, [this, apprank] {
+    app_comm_->barrier(apprank, [this] {
+      if (++barrier_arrivals_ == topology_->apprank_count()) {
+        barrier_arrivals_ = 0;
+        on_barrier_done();
+      }
+    });
+  });
+}
+
+void ClusterRuntime::on_barrier_done() {
+  const int iteration = appranks_.front().iteration;
+  result_.iteration_times.push_back(engine_.now() - last_barrier_time_);
+  last_barrier_time_ = engine_.now();
+
+  std::vector<double> apprank_times(
+      static_cast<std::size_t>(topology_->apprank_count()));
+  for (int a = 0; a < topology_->apprank_count(); ++a) {
+    ApprankState& st = appranks_[static_cast<std::size_t>(a)];
+    apprank_times[static_cast<std::size_t>(a)] =
+        st.taskwait_done - st.iteration_start;
+    ++st.iteration;
+  }
+  workload_->on_iteration_done(iteration, apprank_times);
+
+  if (iteration + 1 < workload_->iteration_count()) {
+    start_iteration_all();
+  } else {
+    done_ = true;
+    result_.makespan = engine_.now();
+    engine_.cancel(policy_event_);
+    policy_event_ = sim::kInvalidEvent;
+  }
+}
+
+// --- Scheduling (§5.5) --------------------------------------------------------
+
+int ClusterRuntime::owned_cores(WorkerId w) const {
+  const int node = topology_->worker(w).node;
+  return node_cores_[static_cast<std::size_t>(node)]->owned_count(w);
+}
+
+bool ClusterRuntime::under_threshold(WorkerId w) const {
+  return workers_[static_cast<std::size_t>(w)].inflight <
+         config_.inflight_per_core * owned_cores(w);
+}
+
+int ClusterRuntime::pick_worker(const nanos::Task& task) const {
+  const auto& ws = topology_->workers_of_apprank(task.apprank);
+  const auto& loc = *appranks_[static_cast<std::size_t>(task.apprank)].locations;
+
+  // Locality-best node: most input bytes already resident; home wins ties.
+  WorkerId best = ws.front();
+  if (ws.size() > 1 && !task.accesses.empty()) {
+    std::uint64_t best_bytes =
+        loc.resident_input_bytes(task.accesses, topology_->worker(best).node);
+    for (std::size_t j = 1; j < ws.size(); ++j) {
+      const std::uint64_t b = loc.resident_input_bytes(
+          task.accesses, topology_->worker(ws[j]).node);
+      if (b > best_bytes) {
+        best = ws[j];
+        best_bytes = b;
+      }
+    }
+  }
+  if (under_threshold(best)) return best;
+
+  // Alternative node under the threshold, least loaded first.
+  WorkerId alt = -1;
+  double best_ratio = std::numeric_limits<double>::infinity();
+  for (WorkerId w : ws) {
+    if (w == best || !under_threshold(w)) continue;
+    const double ratio =
+        static_cast<double>(workers_[static_cast<std::size_t>(w)].inflight) /
+        std::max(1, owned_cores(w));
+    if (ratio < best_ratio) {
+      best_ratio = ratio;
+      alt = w;
+    }
+  }
+  return alt;  // -1: every node saturated, hold centrally
+}
+
+void ClusterRuntime::on_task_ready(nanos::TaskId id) {
+  nanos::Task& task = pool_.get(id);
+  assert(task.state == nanos::TaskState::Ready);
+  if (!task.offloadable) {
+    // Must execute in the apprank's own process (it may call MPI, §4).
+    assign_to_worker(id, topology_->home_worker(task.apprank));
+    return;
+  }
+  const int w = pick_worker(task);
+  if (w >= 0) {
+    assign_to_worker(id, w);
+  } else {
+    appranks_[static_cast<std::size_t>(task.apprank)].central.push_back(id);
+  }
+}
+
+void ClusterRuntime::assign_to_worker(nanos::TaskId id, WorkerId w) {
+  nanos::Task& task = pool_.get(id);
+  const WorkerInfo& info = topology_->worker(w);
+  task.state = nanos::TaskState::Scheduled;
+  task.scheduled_node = info.node;
+
+  // Offloading is final from here (§5.5): initiate the control message and
+  // the eager input transfer now; the task may start computing once data
+  // has arrived.
+  sim::SimTime cost = 0.0;
+  if (!info.is_home) {
+    cost += config_.cluster.link.latency;  // offload control message
+    ++result_.control_messages;
+  }
+  const std::uint64_t bytes =
+      appranks_[static_cast<std::size_t>(task.apprank)]
+          .locations->missing_input_bytes(task.accesses, info.node);
+  task.transfer_bytes = bytes;
+  if (bytes > 0) {
+    cost += config_.cluster.link.transfer_time(bytes);
+    result_.transfer_bytes += bytes;
+  }
+  task.data_ready_at = engine_.now() + cost;
+
+  WorkerState& ws = workers_[static_cast<std::size_t>(w)];
+  ws.inflight += 1;
+  ws.queue.push_back(id);
+}
+
+void ClusterRuntime::dispatch(WorkerId w) {
+  const WorkerInfo& info = topology_->worker(w);
+  dlb::NodeCores& nc = *node_cores_[static_cast<std::size_t>(info.node)];
+  WorkerState& ws = workers_[static_cast<std::size_t>(w)];
+  ApprankState& st = appranks_[static_cast<std::size_t>(info.apprank)];
+
+  while (true) {
+    const auto idle = nc.idle_leased_cores(w);
+    if (idle.empty()) return;
+    if (ws.queue.empty()) {
+      // Steal from the apprank's central queue: an idle core is capacity
+      // by definition ("stolen as tasks complete", §5.5).
+      if (st.central.empty()) return;
+      const nanos::TaskId id = st.central.front();
+      st.central.pop_front();
+      assign_to_worker(id, w);
+    }
+    const nanos::TaskId id = ws.queue.front();
+    ws.queue.pop_front();
+    start_task(id, w, idle.front());
+  }
+}
+
+void ClusterRuntime::start_task(nanos::TaskId id, WorkerId w, int core) {
+  nanos::Task& task = pool_.get(id);
+  const WorkerInfo& info = topology_->worker(w);
+  assert(task.state == nanos::TaskState::Scheduled);
+  task.state = nanos::TaskState::Running;
+  task.start_at = engine_.now();
+  task.executed_core = core;
+
+  dlb::NodeCores& nc = *node_cores_[static_cast<std::size_t>(info.node)];
+  nc.task_started(core);
+
+  const double speed =
+      config_.cluster.nodes[static_cast<std::size_t>(info.node)].speed;
+  sim::SimTime transfer_wait =
+      std::max(0.0, task.data_ready_at - engine_.now());
+  if (nc.owner(core) != w) {
+    // Borrowed core: pay the lend/borrow friction (§5.5 — borrowed cores
+    // are never as efficient as owned ones).
+    transfer_wait += config_.borrowed_core_overhead;
+  }
+  const sim::SimTime compute = task.work / speed;
+
+  // Busy accounting covers the compute phase only: a core waiting for data
+  // is occupied but not busy (the paper's borrowed-core under-utilisation).
+  if (transfer_wait > 0.0) {
+    engine_.after(transfer_wait, [this, w, node = info.node,
+                                  apprank = info.apprank] {
+      talp_->on_busy_delta(w, +1);
+      recorder_->busy_delta(engine_.now(), node, apprank, +1);
+    });
+  } else {
+    talp_->on_busy_delta(w, +1);
+    recorder_->busy_delta(engine_.now(), info.node, info.apprank, +1);
+  }
+  engine_.after(transfer_wait + compute, [this, id, w, node = info.node,
+                                          core] {
+    on_task_finished(id, w, node, core);
+  });
+}
+
+void ClusterRuntime::on_task_finished(nanos::TaskId id, WorkerId w, int node,
+                                      int core) {
+  nanos::Task& task = pool_.get(id);
+  const WorkerInfo& info = topology_->worker(w);
+  task.finish_at = engine_.now();
+
+  talp_->on_busy_delta(w, -1);
+  recorder_->busy_delta(engine_.now(), node, info.apprank, -1);
+  node_cores_[static_cast<std::size_t>(node)]->task_finished(core);
+  workers_[static_cast<std::size_t>(w)].inflight -= 1;
+
+  const int apprank = task.apprank;
+  const int home = topology_->home_node(apprank);
+  recorder_->task_executed(apprank, node, home, task.work);
+
+  ApprankState& st = appranks_[static_cast<std::size_t>(apprank)];
+  st.locations->task_executed(task.accesses, node);
+
+  // Dependency release and taskwait accounting happen on the apprank's
+  // home runtime instance; a remote completion needs a control message.
+  auto complete = [this, id, apprank] {
+    ApprankState& state = appranks_[static_cast<std::size_t>(apprank)];
+    const auto ready = state.deps->on_task_finished(id);
+    std::vector<int> touched;
+    for (nanos::TaskId r : ready) {
+      nanos::Task& rt = pool_.get(r);
+      rt.ready_at = engine_.now();
+      on_task_ready(r);
+      if (rt.state == nanos::TaskState::Scheduled) {
+        touched.push_back(rt.scheduled_node);
+      }
+    }
+    assert(state.outstanding > 0);
+    if (--state.outstanding == 0) {
+      enter_barrier(apprank);
+    }
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+    for (int n : touched) kick_node(n);
+  };
+  if (node != home) {
+    ++result_.control_messages;
+    engine_.after(config_.cluster.link.latency, complete);
+  } else {
+    complete();
+  }
+
+  kick_node(node);
+}
+
+void ClusterRuntime::kick_node(int node) {
+  dlb::NodeCores& nc = *node_cores_[static_cast<std::size_t>(node)];
+  dlb::LewiModule& lw = *lewi_[static_cast<std::size_t>(node)];
+  const auto& residents = topology_->workers_on_node(node);
+
+  auto backlog_of = [this](WorkerId w) -> int {
+    const WorkerState& ws = workers_[static_cast<std::size_t>(w)];
+    const ApprankState& st =
+        appranks_[static_cast<std::size_t>(topology_->worker(w).apprank)];
+    return static_cast<int>(ws.queue.size() + st.central.size());
+  };
+
+  // 1. Owners with backlog reclaim their lent-out cores (§5.3).
+  if (lw.enabled()) {
+    for (WorkerId w : residents) {
+      const int idle = static_cast<int>(nc.idle_leased_cores(w).size());
+      const int deficit = backlog_of(w) - idle;
+      if (deficit > 0) lw.reclaim_for(w, deficit);
+    }
+  }
+  // 2. Run whatever fits on currently leased idle cores.
+  for (WorkerId w : residents) dispatch(w);
+  // 3. Idle workers lend their remaining cores into the pool.
+  if (lw.enabled()) {
+    for (WorkerId w : residents) {
+      if (backlog_of(w) == 0) lw.lend_idle(w);
+    }
+    // 4. Backlogged workers borrow from the pool.
+    for (WorkerId w : residents) {
+      const int idle = static_cast<int>(nc.idle_leased_cores(w).size());
+      const int want = backlog_of(w) - idle;
+      if (want > 0) {
+        lw.borrow(w, want);
+        dispatch(w);
+      }
+    }
+  }
+}
+
+// --- DROM policy loop (§5.4) ---------------------------------------------------
+
+void ClusterRuntime::schedule_policy_tick() {
+  const sim::SimTime period = config_.policy == PolicyKind::Local
+                                  ? config_.local_period
+                                  : config_.global_period;
+  policy_event_ = engine_.after(period, [this] { policy_tick(); });
+}
+
+void ClusterRuntime::policy_tick() {
+  if (done_) return;
+  if (busy_smoothed_.empty()) {
+    busy_smoothed_.assign(static_cast<std::size_t>(topology_->worker_count()),
+                          0.0);
+  }
+  const double s = config_.busy_smoothing;
+  std::vector<double> busy(static_cast<std::size_t>(topology_->worker_count()));
+  for (int w = 0; w < topology_->worker_count(); ++w) {
+    auto& ema = busy_smoothed_[static_cast<std::size_t>(w)];
+    ema = s * ema + (1.0 - s) * talp_->window_average(w);
+    busy[static_cast<std::size_t>(w)] = ema;
+  }
+  talp_->reset_window();
+
+  std::vector<int> node_core_counts;
+  node_core_counts.reserve(config_.cluster.nodes.size());
+  for (const auto& n : config_.cluster.nodes) node_core_counts.push_back(n.cores);
+
+  OwnershipPlan plan;
+  if (config_.policy == PolicyKind::Local) {
+    plan = local_convergence_plan(*topology_, node_core_counts, busy);
+  } else {
+    plan = global_solver_plan(*topology_, node_core_counts, busy);
+  }
+
+  if (config_.policy == PolicyKind::Global && config_.solver_latency > 0.0) {
+    engine_.after(config_.solver_latency, [this, plan = std::move(plan)] {
+      if (!done_) apply_plan(plan);
+    });
+  } else {
+    apply_plan(plan);
+  }
+  schedule_policy_tick();
+}
+
+void ClusterRuntime::apply_plan(const OwnershipPlan& plan) {
+  for (int n = 0; n < topology_->node_count(); ++n) {
+    drom_[static_cast<std::size_t>(n)]->apply(plan[static_cast<std::size_t>(n)]);
+  }
+  record_ownership();
+  for (int n = 0; n < topology_->node_count(); ++n) kick_node(n);
+}
+
+void ClusterRuntime::record_ownership() {
+  for (int n = 0; n < topology_->node_count(); ++n) {
+    const dlb::NodeCores& nc = *node_cores_[static_cast<std::size_t>(n)];
+    for (WorkerId w : topology_->workers_on_node(n)) {
+      recorder_->set_owned(engine_.now(), n, topology_->worker(w).apprank,
+                           nc.owned_count(w));
+    }
+  }
+}
+
+}  // namespace tlb::core

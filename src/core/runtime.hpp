@@ -1,0 +1,119 @@
+// ClusterRuntime — the paper's contribution, assembled.
+//
+// Simulates an MPI + OmpSs-2@Cluster execution with DLB-based transparent
+// load balancing:
+//   - appranks and helper ranks placed by a bipartite expander graph (§5.2);
+//   - per-apprank task scheduling with the locality-first,
+//     two-tasks-per-owned-core rule and a central overflow queue (§5.5);
+//   - LeWI lend/borrow/reclaim of idle cores within each node (§5.3);
+//   - DROM ownership re-allocation driven by the local convergence or
+//     global solver policy (§5.4);
+//   - eager data transfers priced by the interconnect model, no automatic
+//     write-back (§3.2), pull-to-home at MPI boundaries (§4).
+//
+// One ClusterRuntime instance performs one execution (construct anew per
+// run); traces and statistics remain readable afterwards.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/result.hpp"
+#include "core/topology.hpp"
+#include "core/workload.hpp"
+#include "dlb/core_registry.hpp"
+#include "dlb/drom.hpp"
+#include "dlb/lewi.hpp"
+#include "dlb/talp.hpp"
+#include "graph/expander.hpp"
+#include "nanos/data_location.hpp"
+#include "nanos/dependency_graph.hpp"
+#include "nanos/task.hpp"
+#include "sim/engine.hpp"
+#include "trace/recorder.hpp"
+#include "vmpi/comm.hpp"
+
+namespace tlb::core {
+
+class ClusterRuntime {
+ public:
+  explicit ClusterRuntime(RuntimeConfig config);
+
+  /// Executes the workload to completion and returns the run statistics.
+  RunResult run(Workload& workload);
+
+  // Post-run inspection.
+  [[nodiscard]] const trace::Recorder& recorder() const { return *recorder_; }
+  [[nodiscard]] const Topology& topology() const { return *topology_; }
+  [[nodiscard]] const graph::BipartiteGraph& offload_graph() const {
+    return expander_.graph;
+  }
+  [[nodiscard]] double expander_expansion() const {
+    return expander_.expansion;
+  }
+  [[nodiscard]] const RuntimeConfig& config() const { return config_; }
+  [[nodiscard]] sim::SimTime now() const { return engine_.now(); }
+
+ private:
+  struct WorkerState {
+    std::deque<nanos::TaskId> queue;  ///< assigned, waiting for a core
+    int inflight = 0;                 ///< assigned + running tasks
+  };
+  struct ApprankState {
+    std::unique_ptr<nanos::DependencyGraph> deps;
+    std::unique_ptr<nanos::DataLocations> locations;
+    std::deque<nanos::TaskId> central;  ///< ready, not yet assigned (§5.5)
+    int iteration = 0;
+    std::size_t outstanding = 0;  ///< unfinished tasks of this iteration
+    sim::SimTime iteration_start = 0.0;
+    sim::SimTime taskwait_done = 0.0;
+  };
+
+  // SPMD iteration orchestration.
+  void start_iteration_all();
+  void start_iteration(int apprank);
+  void enter_barrier(int apprank);
+  void on_barrier_done();
+
+  // Scheduling (§5.5).
+  void on_task_ready(nanos::TaskId id);
+  void assign_to_worker(nanos::TaskId id, WorkerId w);
+  void start_task(nanos::TaskId id, WorkerId w, int core);
+  void on_task_finished(nanos::TaskId id, WorkerId w, int node, int core);
+  void kick_node(int node);
+  void dispatch(WorkerId w);
+  [[nodiscard]] int owned_cores(WorkerId w) const;
+  [[nodiscard]] bool under_threshold(WorkerId w) const;
+  [[nodiscard]] int pick_worker(const nanos::Task& task) const;
+
+  // DROM policy loop (§5.4).
+  void schedule_policy_tick();
+  void policy_tick();
+  void apply_plan(const OwnershipPlan& plan);
+  void record_ownership();
+
+  RuntimeConfig config_;
+  sim::Engine engine_;
+  graph::ExpanderResult expander_;
+  std::unique_ptr<Topology> topology_;
+  std::unique_ptr<vmpi::Communicator> app_comm_;  ///< appranks only
+  std::vector<std::unique_ptr<dlb::NodeCores>> node_cores_;
+  std::vector<std::unique_ptr<dlb::LewiModule>> lewi_;
+  std::vector<std::unique_ptr<dlb::DromModule>> drom_;
+  std::unique_ptr<dlb::TalpModule> talp_;
+  std::unique_ptr<trace::Recorder> recorder_;
+  nanos::TaskPool pool_;
+  std::vector<ApprankState> appranks_;
+  std::vector<WorkerState> workers_;
+  Workload* workload_ = nullptr;
+  RunResult result_;
+  std::vector<double> busy_smoothed_;  ///< EMA of policy work estimates
+  int barrier_arrivals_ = 0;
+  sim::SimTime last_barrier_time_ = 0.0;
+  bool done_ = false;
+  sim::EventId policy_event_ = sim::kInvalidEvent;
+};
+
+}  // namespace tlb::core

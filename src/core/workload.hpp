@@ -1,0 +1,55 @@
+// Workload abstraction consumed by the ClusterRuntime.
+//
+// Models the structure of an MPI+OmpSs-2 application (paper §4): each
+// apprank runs the same main function, which per iteration creates a batch
+// of annotated tasks, taskwaits, and then communicates with the other
+// appranks (modelled as a barrier plus the data the apprank must have at
+// home to perform its MPI exchange).
+#pragma once
+
+#include <vector>
+
+#include "nanos/task.hpp"
+
+namespace tlb::core {
+
+/// Specification of one task the apprank's main function would create.
+struct TaskSpec {
+  double work = 0.0;  ///< core-seconds at nominal node speed
+  std::vector<nanos::AccessRegion> accesses;
+  bool offloadable = true;
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// Number of outer iterations (time steps) the application performs.
+  [[nodiscard]] virtual int iteration_count() const = 0;
+
+  /// Tasks the given apprank creates in the given iteration. Called once
+  /// per (apprank, iteration), at the simulated time the apprank reaches
+  /// that iteration.
+  virtual std::vector<TaskSpec> make_tasks(int apprank, int iteration) = 0;
+
+  /// Regions the apprank's non-offloadable code (MPI exchange, reduction)
+  /// reads at the iteration boundary; any bytes living on a remote node
+  /// are pulled home and priced. Default: nothing.
+  virtual std::vector<nanos::AccessRegion> barrier_regions(int apprank,
+                                                           int iteration) {
+    (void)apprank;
+    (void)iteration;
+    return {};
+  }
+
+  /// Hook called when all appranks completed `iteration` (for workloads
+  /// that rebalance between iterations, e.g. n-body's ORB). `iteration
+  /// durations` are the per-apprank taskwait-to-taskwait times.
+  virtual void on_iteration_done(int iteration,
+                                 const std::vector<double>& apprank_times) {
+    (void)iteration;
+    (void)apprank_times;
+  }
+};
+
+}  // namespace tlb::core

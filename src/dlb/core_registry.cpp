@@ -1,0 +1,143 @@
+#include "dlb/core_registry.hpp"
+
+#include <cassert>
+
+namespace tlb::dlb {
+
+NodeCores::NodeCores(int core_count, WorkerId initial_owner)
+    : cores_(static_cast<std::size_t>(core_count)) {
+  assert(core_count > 0);
+  assert(initial_owner != kNoWorker);
+  for (Core& c : cores_) {
+    c.owner = initial_owner;
+    c.lease = initial_owner;
+  }
+}
+
+void NodeCores::set_owner(int core, WorkerId new_owner) {
+  assert(new_owner != kNoWorker);
+  Core& c = at(core);
+  const WorkerId old_owner = c.owner;
+  c.owner = new_owner;
+  if (old_owner == new_owner) return;
+  if (!c.running) {
+    // Idle: the new owner takes the lease unless a borrower holds it.
+    if (c.lease == old_owner || c.lease == kNoWorker) {
+      c.lease = new_owner;
+      c.pending = kNoWorker;
+    } else {
+      // Borrowed by a third party: schedule the handover.
+      c.pending = new_owner;
+    }
+  } else {
+    // Mid-task (whoever is running): hand over at the boundary.
+    if (c.lease == new_owner) {
+      c.pending = kNoWorker;
+    } else {
+      c.pending = new_owner;
+    }
+  }
+}
+
+void NodeCores::lend(int core) {
+  Core& c = at(core);
+  assert(c.lease == c.owner && "only the owner's lease can be lent");
+  assert(!c.running && "cannot lend a running core");
+  c.lease = kNoWorker;
+}
+
+bool NodeCores::try_borrow(int core, WorkerId borrower) {
+  assert(borrower != kNoWorker);
+  Core& c = at(core);
+  if (c.lease != kNoWorker || c.running) return false;
+  c.lease = borrower;
+  return true;
+}
+
+void NodeCores::release_borrowed(int core) {
+  Core& c = at(core);
+  assert(c.lease != kNoWorker && c.lease != c.owner &&
+         "release_borrowed requires a borrower lease");
+  assert(!c.running);
+  if (c.pending != kNoWorker) {
+    c.lease = c.pending;
+    c.pending = kNoWorker;
+  } else {
+    c.lease = kNoWorker;  // back to the pool
+  }
+}
+
+void NodeCores::reclaim(int core) {
+  Core& c = at(core);
+  if (c.lease == c.owner) return;  // already ours
+  if (!c.running) {
+    c.lease = c.owner;
+    c.pending = kNoWorker;
+  } else {
+    c.pending = c.owner;
+  }
+}
+
+void NodeCores::task_started(int core) {
+  Core& c = at(core);
+  assert(c.lease != kNoWorker && "task on an unleased core");
+  assert(!c.running && "core already running a task");
+  c.running = true;
+}
+
+WorkerId NodeCores::task_finished(int core) {
+  Core& c = at(core);
+  assert(c.running);
+  c.running = false;
+  if (c.pending != kNoWorker) {
+    c.lease = c.pending;
+    c.pending = kNoWorker;
+  }
+  return c.lease;
+}
+
+int NodeCores::owned_count(WorkerId w) const {
+  int n = 0;
+  for (const Core& c : cores_) n += (c.owner == w);
+  return n;
+}
+
+int NodeCores::leased_count(WorkerId w) const {
+  int n = 0;
+  for (const Core& c : cores_) n += (c.lease == w);
+  return n;
+}
+
+std::vector<int> NodeCores::pooled_cores() const {
+  std::vector<int> out;
+  for (int i = 0; i < core_count(); ++i) {
+    if (cores_[static_cast<std::size_t>(i)].lease == kNoWorker) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+std::vector<int> NodeCores::idle_leased_cores(WorkerId w) const {
+  std::vector<int> out;
+  for (int i = 0; i < core_count(); ++i) {
+    const Core& c = cores_[static_cast<std::size_t>(i)];
+    if (c.lease == w && !c.running) out.push_back(i);
+  }
+  return out;
+}
+
+void NodeCores::check_invariants() const {
+  for (const Core& c : cores_) {
+    assert(c.owner != kNoWorker && "ownerless core");
+    if (c.running) {
+      assert(c.lease != kNoWorker && "running core must be leased");
+    }
+    if (c.pending != kNoWorker) {
+      assert(c.pending != c.lease && "pending transfer to current lessee");
+    }
+    (void)c;
+  }
+}
+
+}  // namespace tlb::dlb

@@ -1,0 +1,107 @@
+// Core ownership and leasing state for one node (DLB's shared-memory view).
+//
+// Every physical core of a node is *owned* by exactly one worker process
+// (an apprank or a helper rank) at all times — the DROM invariant. The
+// *lease* tracks who may currently run tasks on the core:
+//   - normally the owner;
+//   - kNoWorker while the core sits in the LeWI lending pool;
+//   - a borrower after LeWI borrowing.
+// Reclaims (by the owner) and ownership changes (by DROM) that hit a core
+// in the middle of a task take effect at the task boundary — a task is
+// never preempted, matching OmpSs-2 malleability semantics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tlb::dlb {
+
+/// Globally unique worker-process id (apprank main process or helper rank).
+using WorkerId = int;
+inline constexpr WorkerId kNoWorker = -1;
+
+class NodeCores {
+ public:
+  /// All cores initially owned (and leased) by `initial_owner`.
+  NodeCores(int core_count, WorkerId initial_owner);
+
+  [[nodiscard]] int core_count() const { return static_cast<int>(cores_.size()); }
+
+  [[nodiscard]] WorkerId owner(int core) const { return at(core).owner; }
+  [[nodiscard]] WorkerId lease(int core) const { return at(core).lease; }
+  [[nodiscard]] bool is_running(int core) const { return at(core).running; }
+  [[nodiscard]] bool is_in_pool(int core) const {
+    return at(core).lease == kNoWorker;
+  }
+  [[nodiscard]] bool reclaim_pending(int core) const {
+    return at(core).pending != kNoWorker;
+  }
+  /// Who the core will be leased to at the next task boundary (kNoWorker if
+  /// no transfer is pending).
+  [[nodiscard]] WorkerId pending_lease(int core) const { return at(core).pending; }
+
+  // --- DROM: ownership -----------------------------------------------------
+
+  /// Transfers ownership. If the core is idle and was leased to the old
+  /// owner (or pooled), the lease moves immediately; if it is running a
+  /// task, the transfer completes at the next task_finished().
+  void set_owner(int core, WorkerId new_owner);
+
+  // --- LeWI: lend / borrow / reclaim ----------------------------------------
+
+  /// Owner stops using an idle core: it enters the lending pool.
+  /// Requires: lease == owner, not running.
+  void lend(int core);
+
+  /// A worker takes an idle pooled core. Returns false if unavailable.
+  bool try_borrow(int core, WorkerId borrower);
+
+  /// Borrower voluntarily returns an idle core to the pool.
+  /// Requires: leased to a non-owner, not running.
+  void release_borrowed(int core);
+
+  /// Owner wants its core back. Immediate when the core is idle; otherwise
+  /// marked pending and applied at task_finished(). No-op when the owner
+  /// already holds the lease.
+  void reclaim(int core);
+
+  // --- execution notifications ----------------------------------------------
+
+  /// Runtime marks a task starting on the core (requires leased, idle).
+  void task_started(int core);
+
+  /// Runtime marks the task done. Applies any pending lease transfer and
+  /// returns the worker now holding the lease.
+  WorkerId task_finished(int core);
+
+  // --- queries ----------------------------------------------------------------
+
+  [[nodiscard]] int owned_count(WorkerId w) const;
+  [[nodiscard]] int leased_count(WorkerId w) const;
+  /// Cores currently in the lending pool.
+  [[nodiscard]] std::vector<int> pooled_cores() const;
+  /// Cores leased to `w` and idle.
+  [[nodiscard]] std::vector<int> idle_leased_cores(WorkerId w) const;
+
+  /// Debug invariant check: every core has an owner; lease/pending states
+  /// are mutually consistent. Aborts (assert) on violation.
+  void check_invariants() const;
+
+ private:
+  struct Core {
+    WorkerId owner = kNoWorker;
+    WorkerId lease = kNoWorker;
+    WorkerId pending = kNoWorker;  // lease transfer applied at task end
+    bool running = false;
+  };
+  [[nodiscard]] const Core& at(int core) const {
+    return cores_.at(static_cast<std::size_t>(core));
+  }
+  [[nodiscard]] Core& at(int core) {
+    return cores_.at(static_cast<std::size_t>(core));
+  }
+
+  std::vector<Core> cores_;
+};
+
+}  // namespace tlb::dlb

@@ -1,0 +1,41 @@
+// DROM — Dynamic Resource Ownership Management (paper §3.3, §5.4).
+//
+// Coarse-grained load balancing: changes the semi-permanent *ownership* of
+// a node's cores among its resident workers. A balance policy (local
+// convergence or global solver, src/core/) computes target ownership
+// counts; DROM picks concrete cores to move, preferring idle ones so the
+// transfer completes immediately.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "dlb/core_registry.hpp"
+
+namespace tlb::dlb {
+
+class DromModule {
+ public:
+  /// When `enabled` is false apply() is a no-op (the paper's "without
+  /// DROM" configurations).
+  DromModule(NodeCores& cores, bool enabled)
+      : cores_(cores), enabled_(enabled) {}
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Target ownership for the node: (worker, core_count) pairs covering
+  /// every resident worker. Counts must sum to the node's core count and
+  /// each must be >= 1. Moves the minimum number of cores, preferring
+  /// idle donors. Returns the number of cores whose owner changed.
+  int apply(const std::vector<std::pair<WorkerId, int>>& target);
+
+  [[nodiscard]] std::uint64_t ownership_changes() const { return changes_; }
+
+ private:
+  NodeCores& cores_;
+  bool enabled_;
+  std::uint64_t changes_ = 0;
+};
+
+}  // namespace tlb::dlb

@@ -1,0 +1,52 @@
+#include "dlb/lewi.hpp"
+
+namespace tlb::dlb {
+
+int LewiModule::lend_idle(WorkerId w) {
+  if (!enabled_) return 0;
+  int moved = 0;
+  for (int core : cores_.idle_leased_cores(w)) {
+    if (cores_.owner(core) == w) {
+      // Do not lend a core that someone is already waiting to take over
+      // (a pending DROM transfer): let the transfer complete instead.
+      if (cores_.reclaim_pending(core)) continue;
+      cores_.lend(core);
+      ++lends_;
+      ++moved;
+    } else {
+      cores_.release_borrowed(core);
+      ++moved;
+    }
+  }
+  return moved;
+}
+
+std::vector<int> LewiModule::borrow(WorkerId w, int max_cores) {
+  std::vector<int> got;
+  if (!enabled_ || max_cores <= 0) return got;
+  for (int core : cores_.pooled_cores()) {
+    if (static_cast<int>(got.size()) >= max_cores) break;
+    if (cores_.owner(core) == w) continue;  // take own cores via reclaim
+    if (cores_.try_borrow(core, w)) {
+      got.push_back(core);
+      ++borrows_;
+    }
+  }
+  return got;
+}
+
+int LewiModule::reclaim_for(WorkerId w, int needed) {
+  if (!enabled_ || needed <= 0) return 0;
+  int issued = 0;
+  for (int core = 0; core < cores_.core_count() && issued < needed; ++core) {
+    if (cores_.owner(core) != w) continue;
+    if (cores_.lease(core) == w) continue;
+    if (cores_.pending_lease(core) == w) continue;  // already on its way
+    cores_.reclaim(core);
+    ++reclaims_;
+    ++issued;
+  }
+  return issued;
+}
+
+}  // namespace tlb::dlb

@@ -1,0 +1,28 @@
+// TALP end-of-run report (paper §3.3: "the data obtained by TALP ... can
+// be output as a report at the end").
+//
+// Formats per-worker busy time and parallel efficiency the way DLB's TALP
+// module prints its summary, given a label and nominal core count per
+// worker.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dlb/talp.hpp"
+
+namespace tlb::dlb {
+
+struct TalpReportRow {
+  std::string label;      ///< e.g. "apprank 0 @ node 2 (helper)"
+  int worker = 0;         ///< TalpModule worker index
+  double nominal_cores = 0.0;  ///< cores to measure efficiency against
+};
+
+/// Renders a fixed-width text report: busy core-seconds, average busy
+/// cores, and parallel efficiency per row, plus an aggregate line.
+std::string talp_report(const TalpModule& talp,
+                        const std::vector<TalpReportRow>& rows,
+                        double elapsed_seconds);
+
+}  // namespace tlb::dlb

@@ -1,0 +1,64 @@
+#include "graph/graph_cache.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace tlb::graph {
+
+GraphCache::GraphCache(std::filesystem::path directory)
+    : dir_(std::move(directory)) {
+  std::filesystem::create_directories(dir_);
+}
+
+std::string GraphCache::key(const ExpanderParams& p) {
+  std::ostringstream key;
+  key << "expander_n" << p.nodes << "_r" << p.appranks_per_node << "_d"
+      << p.degree << "_s" << p.seed;
+  return key.str();
+}
+
+std::filesystem::path GraphCache::path_for(const ExpanderParams& p) const {
+  return dir_ / (key(p) + ".tlbgraph");
+}
+
+std::optional<BipartiteGraph> GraphCache::load(
+    const ExpanderParams& p) const {
+  std::ifstream in(path_for(p));
+  if (!in) return std::nullopt;
+  std::ostringstream text;
+  text << in.rdbuf();
+  auto parsed = parse(text.str());
+  if (!parsed) return std::nullopt;
+  // Sanity: shape must match the requested parameters (a stale or
+  // corrupted entry must not be served).
+  if (parsed->left_count() != p.nodes * p.appranks_per_node ||
+      parsed->right_count() != p.nodes ||
+      !parsed->is_biregular(p.degree, p.appranks_per_node * p.degree)) {
+    return std::nullopt;
+  }
+  return parsed;
+}
+
+ExpanderResult GraphCache::load_or_build(const ExpanderParams& p) {
+  if (auto cached = load(p)) {
+    ExpanderResult result;
+    result.graph = std::move(*cached);
+    result.expansion = vertex_expansion(result.graph);
+    result.attempts = 0;  // served from cache
+    return result;
+  }
+  ExpanderResult fresh = build_expander(p);
+  std::ofstream out(path_for(p));
+  out << serialize(fresh.graph);
+  return fresh;
+}
+
+std::size_t GraphCache::size() const {
+  std::size_t n = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (entry.path().extension() == ".tlbgraph") ++n;
+  }
+  return n;
+}
+
+}  // namespace tlb::graph

@@ -1,0 +1,47 @@
+// Persistent expander-graph cache (paper §5.2: "Each graph is stored for
+// future executions so that it is only created once").
+//
+// Graphs are keyed by their construction parameters and stored as the
+// text serialisation in a cache directory. load_or_build() returns the
+// cached graph when present and valid, otherwise builds, stores, and
+// returns it.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <string>
+
+#include "graph/expander.hpp"
+
+namespace tlb::graph {
+
+class GraphCache {
+ public:
+  /// Uses (and creates if needed) `directory` for cached graphs.
+  explicit GraphCache(std::filesystem::path directory);
+
+  /// Deterministic cache key for a parameter set.
+  [[nodiscard]] static std::string key(const ExpanderParams& params);
+
+  /// Cached graph for these parameters, if present and parseable.
+  [[nodiscard]] std::optional<BipartiteGraph> load(
+      const ExpanderParams& params) const;
+
+  /// Returns the cached graph or builds + stores a fresh one.
+  ExpanderResult load_or_build(const ExpanderParams& params);
+
+  /// Number of cached graph files.
+  [[nodiscard]] std::size_t size() const;
+
+  [[nodiscard]] const std::filesystem::path& directory() const {
+    return dir_;
+  }
+
+ private:
+  [[nodiscard]] std::filesystem::path path_for(
+      const ExpanderParams& params) const;
+
+  std::filesystem::path dir_;
+};
+
+}  // namespace tlb::graph

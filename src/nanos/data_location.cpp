@@ -1,0 +1,132 @@
+#include "nanos/data_location.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tlb::nanos {
+
+std::uint64_t DataLocations::scan_const(std::uint64_t start, std::uint64_t end,
+                                        int node, bool count_not_on) const {
+  std::uint64_t counted = 0;
+  std::uint64_t cursor = start;
+  auto it = segments_.upper_bound(start);
+  if (it != segments_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.end > start) it = prev;
+  }
+  while (cursor < end) {
+    std::uint64_t span_end = end;
+    int loc = home_;
+    if (it != segments_.end() && it->first <= cursor) {
+      span_end = std::min(it->second.end, end);
+      loc = it->second.node;
+      ++it;
+    } else if (it != segments_.end() && it->first < end) {
+      span_end = it->first;  // gap before next segment: home-resident
+    }
+    const bool mismatch = (loc != node);
+    if (mismatch == count_not_on) counted += span_end - cursor;
+    cursor = span_end;
+  }
+  return counted;
+}
+
+void DataLocations::set_range(std::uint64_t start, std::uint64_t end,
+                              int node) {
+  if (start >= end) return;
+  // Trim or split any overlapping segments.
+  auto it = segments_.upper_bound(start);
+  if (it != segments_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.end > start) {
+      // prev overlaps start; split it.
+      if (prev->second.end > end) {
+        // prev fully covers [start,end): create the tail piece.
+        segments_.emplace(end, Segment{prev->second.end, prev->second.node});
+      }
+      prev->second.end = start;
+      if (prev->second.end == prev->first) {
+        // became empty (start == prev->first): erase
+        it = segments_.erase(prev);
+      }
+    }
+  }
+  // Remove/trim segments fully or partially inside [start, end).
+  it = segments_.lower_bound(start);
+  while (it != segments_.end() && it->first < end) {
+    if (it->second.end <= end) {
+      it = segments_.erase(it);
+    } else {
+      // Partially sticks out: move its start to `end`.
+      Segment tail = it->second;
+      segments_.erase(it);
+      segments_.emplace(end, tail);
+      break;
+    }
+  }
+  segments_.emplace(start, Segment{end, node});
+}
+
+std::uint64_t DataLocations::scan(std::uint64_t start, std::uint64_t end,
+                                  int node, bool count_not_on,
+                                  bool relocate) {
+  const std::uint64_t counted = scan_const(start, end, node, count_not_on);
+  if (relocate) set_range(start, end, node);
+  return counted;
+}
+
+std::uint64_t DataLocations::missing_input_bytes(
+    const std::vector<AccessRegion>& accesses, int node) const {
+  std::uint64_t bytes = 0;
+  for (const AccessRegion& a : accesses) {
+    if (!a.reads() || a.size == 0) continue;
+    bytes += scan_const(a.start, a.end(), node, /*count_not_on=*/true);
+  }
+  return bytes;
+}
+
+std::uint64_t DataLocations::resident_input_bytes(
+    const std::vector<AccessRegion>& accesses, int node) const {
+  std::uint64_t bytes = 0;
+  for (const AccessRegion& a : accesses) {
+    if (!a.reads() || a.size == 0) continue;
+    bytes += scan_const(a.start, a.end(), node, /*count_not_on=*/false);
+  }
+  return bytes;
+}
+
+void DataLocations::task_executed(const std::vector<AccessRegion>& accesses,
+                                  int node) {
+  for (const AccessRegion& a : accesses) {
+    if (a.size == 0) continue;
+    // Inputs were copied to `node` to run the task; outputs are produced
+    // there. Either way the freshest copy of every accessed byte is now on
+    // `node`. (For pure inputs the home copy also remains valid, but
+    // tracking a single location is the conservative simplification: it
+    // never under-prices a transfer for written data, and input re-reads
+    // from the executing node are the common case the scheduler optimises.)
+    if (a.writes()) set_range(a.start, a.end(), node);
+  }
+}
+
+std::uint64_t DataLocations::pull(const std::vector<AccessRegion>& accesses,
+                                  int node) {
+  std::uint64_t bytes = 0;
+  for (const AccessRegion& a : accesses) {
+    if (a.size == 0) continue;
+    bytes += scan(a.start, a.end(), node, /*count_not_on=*/true,
+                  /*relocate=*/true);
+  }
+  return bytes;
+}
+
+int DataLocations::location_of(std::uint64_t addr) const {
+  auto it = segments_.upper_bound(addr);
+  if (it != segments_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.end > addr) return prev->second.node;
+  }
+  return home_;
+}
+
+}  // namespace tlb::nanos

@@ -1,0 +1,65 @@
+// Tracks where the current version of each data region lives.
+//
+// OmpSs-2@Cluster copies data eagerly where required and performs no
+// automatic write-back (paper §3.2): after an offloaded task runs on node
+// n, its outputs live on n until some task (or the apprank itself, at a
+// taskwait / MPI boundary) needs them elsewhere. This map supports the
+// scheduler's locality scoring and prices the resulting transfers.
+// One instance per apprank (address spaces are isolated, §4).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "nanos/task.hpp"
+
+namespace tlb::nanos {
+
+class DataLocations {
+ public:
+  /// Regions not explicitly placed are assumed resident on `home_node`
+  /// (the apprank allocated them there).
+  explicit DataLocations(int home_node) : home_(home_node) {}
+
+  [[nodiscard]] int home_node() const { return home_; }
+
+  /// Bytes of the task's *input* data (In/InOut) not currently resident on
+  /// `node` — the transfer volume needed to run the task there.
+  [[nodiscard]] std::uint64_t missing_input_bytes(
+      const std::vector<AccessRegion>& accesses, int node) const;
+
+  /// Bytes of input data already resident on `node` (locality score).
+  [[nodiscard]] std::uint64_t resident_input_bytes(
+      const std::vector<AccessRegion>& accesses, int node) const;
+
+  /// Records that the task executed on `node`: inputs were copied there
+  /// and outputs (Out/InOut) now live there.
+  void task_executed(const std::vector<AccessRegion>& accesses, int node);
+
+  /// Forces the given ranges to `node` (e.g. the apprank touches results
+  /// at an MPI boundary). Returns the bytes that had to move.
+  std::uint64_t pull(const std::vector<AccessRegion>& accesses, int node);
+
+  /// Location of a single byte (for tests).
+  [[nodiscard]] int location_of(std::uint64_t addr) const;
+
+ private:
+  struct Segment {
+    std::uint64_t end = 0;
+    int node = -1;
+  };
+  /// Sums bytes in [start, end) whose location != node; when `relocate` is
+  /// true also rewrites those ranges to `node`.
+  std::uint64_t scan(std::uint64_t start, std::uint64_t end, int node,
+                     bool count_not_on, bool relocate);
+  [[nodiscard]] std::uint64_t scan_const(std::uint64_t start,
+                                         std::uint64_t end, int node,
+                                         bool count_not_on) const;
+  void set_range(std::uint64_t start, std::uint64_t end, int node);
+
+  int home_;
+  std::map<std::uint64_t, Segment> segments_;  ///< start -> segment
+};
+
+}  // namespace tlb::nanos

@@ -1,0 +1,132 @@
+#include "nanos/dependency_graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace tlb::nanos {
+
+bool DependencyGraph::register_task(TaskId id) {
+  Task& task = pool_.get(id);
+  assert(task.state == TaskState::Created);
+  ++live_;
+
+  std::unordered_set<TaskId> preds;
+  for (const AccessRegion& acc : task.accesses) {
+    if (acc.size == 0) continue;
+    const std::uint64_t lo = acc.start;
+    const std::uint64_t hi = acc.end();
+
+    // Find the first segment that could overlap [lo, hi): the last segment
+    // starting at or before lo, else the first after.
+    auto it = segments_.upper_bound(lo);
+    if (it != segments_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second.end > lo) it = prev;
+    }
+
+    std::uint64_t cursor = lo;
+    while (cursor < hi) {
+      if (it == segments_.end() || it->first >= hi) {
+        // Gap [cursor, hi): untouched memory, no dependencies.
+        Segment fresh;
+        fresh.end = hi;
+        if (acc.writes()) {
+          fresh.last_writer = id;
+        } else {
+          fresh.readers.push_back(id);
+        }
+        it = segments_.emplace(cursor, std::move(fresh)).first;
+        ++it;
+        cursor = hi;
+        break;
+      }
+      if (it->first > cursor) {
+        // Gap [cursor, it->first): fresh segment, no deps.
+        Segment fresh;
+        fresh.end = std::min(it->first, hi);
+        if (acc.writes()) {
+          fresh.last_writer = id;
+        } else {
+          fresh.readers.push_back(id);
+        }
+        const std::uint64_t gap_start = cursor;
+        cursor = fresh.end;
+        segments_.emplace(gap_start, std::move(fresh));
+        continue;
+      }
+      // it->first <= cursor < it->second.end (overlap).
+      assert(it->first <= cursor && it->second.end > cursor);
+      if (it->first < cursor) {
+        // Split head: [it->first, cursor) keeps old info.
+        Segment tail = it->second;  // copy deps
+        const std::uint64_t tail_start = cursor;
+        it->second.end = cursor;
+        it = segments_.emplace(tail_start, std::move(tail)).first;
+      }
+      if (it->second.end > hi) {
+        // Split tail: [hi, old_end) keeps old info.
+        Segment tail = it->second;
+        it->second.end = hi;
+        segments_.emplace(hi, std::move(tail));
+      }
+      // Now `it` spans exactly [cursor, min(old_end, hi)) — collect deps.
+      Segment& seg = it->second;
+      if (acc.reads()) {
+        if (seg.last_writer != kNoTask) preds.insert(seg.last_writer);
+      }
+      if (acc.writes()) {
+        if (seg.last_writer != kNoTask) preds.insert(seg.last_writer);
+        for (TaskId r : seg.readers) preds.insert(r);
+      }
+      // Update segment state.
+      if (acc.writes()) {
+        seg.last_writer = id;
+        seg.readers.clear();
+      } else {
+        seg.readers.push_back(id);
+      }
+      cursor = seg.end;
+      ++it;
+    }
+  }
+
+  preds.erase(id);  // self-deps from multiple regions of one task
+  int remaining = 0;
+  for (TaskId p : preds) {
+    Task& pred = pool_.get(p);
+    if (pred.state != TaskState::Finished) {
+      pred.successors.push_back(id);
+      ++remaining;
+      ++edges_;
+    }
+  }
+  task.deps_remaining = remaining;
+  if (remaining == 0) {
+    task.state = TaskState::Ready;
+    return true;
+  }
+  return false;
+}
+
+std::vector<TaskId> DependencyGraph::on_task_finished(TaskId id) {
+  Task& task = pool_.get(id);
+  assert(task.state != TaskState::Finished && "double finish");
+  task.state = TaskState::Finished;
+  assert(live_ > 0);
+  --live_;
+
+  std::vector<TaskId> now_ready;
+  for (TaskId s : task.successors) {
+    Task& succ = pool_.get(s);
+    assert(succ.deps_remaining > 0);
+    if (--succ.deps_remaining == 0) {
+      assert(succ.state == TaskState::Created);
+      succ.state = TaskState::Ready;
+      now_ready.push_back(s);
+    }
+  }
+  return now_ready;
+}
+
+}  // namespace tlb::nanos

@@ -1,0 +1,52 @@
+// Region-based task dependency graph (one instance per apprank).
+//
+// Tasks are registered in program order (OmpSs-2@Cluster inherits task
+// ordering from the sequential code, paper §3.2). For every byte range a
+// task accesses, the graph derives:
+//   RAW: readers depend on the last writer of the range;
+//   WAW: writers depend on the last writer;
+//   WAR: writers depend on every reader since that writer.
+// The implementation keeps an interval map over the apprank's address
+// space, splitting segments at access boundaries.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "nanos/task.hpp"
+
+namespace tlb::nanos {
+
+class DependencyGraph {
+ public:
+  explicit DependencyGraph(TaskPool& pool) : pool_(pool) {}
+
+  /// Registers the next task in program order; wires predecessor /
+  /// successor edges and sets task.deps_remaining. Returns true when the
+  /// task is immediately ready (no unfinished predecessors).
+  bool register_task(TaskId id);
+
+  /// Marks a task finished and returns the tasks that became ready.
+  std::vector<TaskId> on_task_finished(TaskId id);
+
+  /// Number of registered-but-unfinished tasks (taskwait support).
+  [[nodiscard]] std::size_t live_tasks() const { return live_; }
+
+  /// Total dependency edges created (diagnostic).
+  [[nodiscard]] std::uint64_t edge_count() const { return edges_; }
+
+ private:
+  struct Segment {
+    std::uint64_t end = 0;        ///< segment spans [map key, end)
+    TaskId last_writer = kNoTask;
+    std::vector<TaskId> readers;  ///< readers since last_writer
+  };
+
+  TaskPool& pool_;
+  std::map<std::uint64_t, Segment> segments_;  ///< start -> segment
+  std::size_t live_ = 0;
+  std::uint64_t edges_ = 0;
+};
+
+}  // namespace tlb::nanos

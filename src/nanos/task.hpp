@@ -1,0 +1,94 @@
+// Task model of the OmpSs-2-like runtime.
+//
+// A task carries its data accesses (the single mechanism OmpSs-2 uses for
+// dependencies, locality and transfers, paper §3.1), a nominal amount of
+// work in core-seconds, and an offloadable flag (paper §3.2: tasks may be
+// marked non-offloadable, e.g. those performing MPI calls).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace tlb::nanos {
+
+using TaskId = std::uint64_t;
+inline constexpr TaskId kNoTask = static_cast<TaskId>(-1);
+
+enum class AccessMode { In, Out, InOut };
+
+/// A byte range of the apprank's (isolated) virtual address space accessed
+/// by a task. Appranks have isolated address spaces (paper §4), so regions
+/// never alias across appranks.
+struct AccessRegion {
+  std::uint64_t start = 0;
+  std::uint64_t size = 0;
+  AccessMode mode = AccessMode::In;
+
+  [[nodiscard]] std::uint64_t end() const { return start + size; }
+  [[nodiscard]] bool reads() const { return mode != AccessMode::Out; }
+  [[nodiscard]] bool writes() const { return mode != AccessMode::In; }
+};
+
+enum class TaskState {
+  Created,    ///< registered, waiting on dependencies
+  Ready,      ///< dependencies satisfied, waiting for a scheduling slot
+  Scheduled,  ///< assigned to a worker (offloading is final from here on)
+  Running,    ///< executing on a core
+  Finished,
+};
+
+struct Task {
+  TaskId id = kNoTask;
+  int apprank = -1;
+  double work = 0.0;  ///< core-seconds at nominal (speed 1.0) rate
+  std::vector<AccessRegion> accesses;
+  bool offloadable = true;
+
+  // Dependency bookkeeping (managed by DependencyGraph).
+  int deps_remaining = 0;
+  std::vector<TaskId> successors;
+
+  // Execution record.
+  TaskState state = TaskState::Created;
+  int scheduled_node = -1;   ///< node chosen by the scheduler
+  int executed_core = -1;
+  sim::SimTime created_at = 0.0;
+  sim::SimTime ready_at = 0.0;
+  sim::SimTime start_at = 0.0;
+  sim::SimTime finish_at = 0.0;
+  /// Earliest time the task's input data is resident on scheduled_node
+  /// (transfers are initiated at assignment, §5.5's prefetch rationale).
+  sim::SimTime data_ready_at = 0.0;
+  std::uint64_t transfer_bytes = 0;  ///< input bytes moved to run it
+};
+
+/// Owns tasks; ids are dense indices. A deque keeps references stable as
+/// tasks are appended.
+class TaskPool {
+ public:
+  TaskId create(int apprank, double work, std::vector<AccessRegion> accesses,
+                bool offloadable = true) {
+    Task t;
+    t.id = static_cast<TaskId>(tasks_.size());
+    t.apprank = apprank;
+    t.work = work;
+    t.accesses = std::move(accesses);
+    t.offloadable = offloadable;
+    tasks_.push_back(std::move(t));
+    return tasks_.back().id;
+  }
+
+  [[nodiscard]] Task& get(TaskId id) { return tasks_.at(static_cast<std::size_t>(id)); }
+  [[nodiscard]] const Task& get(TaskId id) const {
+    return tasks_.at(static_cast<std::size_t>(id));
+  }
+  [[nodiscard]] std::size_t size() const { return tasks_.size(); }
+
+ private:
+  std::deque<Task> tasks_;
+};
+
+}  // namespace tlb::nanos

@@ -1,0 +1,31 @@
+#include "sim/engine.hpp"
+
+namespace tlb::sim {
+
+SimTime Engine::run() {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    auto [t, cb] = queue_.pop();
+    assert(t >= now_ && "event queue time went backwards");
+    now_ = t;
+    ++fired_;
+    cb();
+  }
+  return now_;
+}
+
+SimTime Engine::run_until(SimTime horizon) {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    const SimTime t = queue_.next_time();
+    if (t > horizon) break;
+    auto [pt, cb] = queue_.pop();
+    now_ = pt;
+    ++fired_;
+    cb();
+  }
+  if (now_ < horizon) now_ = horizon;
+  return now_;
+}
+
+}  // namespace tlb::sim

@@ -1,0 +1,51 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace tlb::sim {
+
+EventId EventQueue::push(SimTime t, Callback cb) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{t, id, std::move(cb)});
+  ++live_;
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  if (id == kInvalidEvent) return;
+  // Only mark as cancelled if the id plausibly refers to a queued event.
+  // Firing removes ids lazily, so a stale cancel of a fired event would leak
+  // an entry in cancelled_; bounded by checking against issued range.
+  if (id >= next_id_) return;
+  if (cancelled_.insert(id).second && live_ > 0) {
+    --live_;
+  }
+}
+
+void EventQueue::skip_cancelled() {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) break;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  auto* self = const_cast<EventQueue*>(this);
+  self->skip_cancelled();
+  assert(!heap_.empty() && "next_time() on empty queue");
+  return heap_.top().time;
+}
+
+std::pair<SimTime, EventQueue::Callback> EventQueue::pop() {
+  skip_cancelled();
+  assert(!heap_.empty() && "pop() on empty queue");
+  Entry e = heap_.top();
+  heap_.pop();
+  --live_;
+  return {e.time, std::move(e.cb)};
+}
+
+}  // namespace tlb::sim

@@ -1,0 +1,75 @@
+// A cancellable priority queue of timestamped events.
+//
+// Events with equal timestamps fire in insertion (FIFO) order, which makes
+// simulations deterministic: the tie-break is a monotonically increasing
+// sequence number, never an address or hash.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace tlb::sim {
+
+/// Opaque handle identifying a scheduled event; usable for cancellation.
+using EventId = std::uint64_t;
+
+/// Invalid/empty event handle.
+inline constexpr EventId kInvalidEvent = 0;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Schedules `cb` to fire at absolute time `t`. Returns a handle that can
+  /// be passed to cancel().
+  EventId push(SimTime t, Callback cb);
+
+  /// Cancels a previously scheduled event. Cancelling an event that already
+  /// fired (or was already cancelled) is a harmless no-op.
+  void cancel(EventId id);
+
+  /// True when no live (non-cancelled) events remain.
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+
+  /// Number of live events.
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+  /// Timestamp of the earliest live event. Requires !empty().
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Pops the earliest live event and returns its (time, callback).
+  /// Requires !empty().
+  std::pair<SimTime, Callback> pop();
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;  // FIFO for equal timestamps
+    }
+  };
+
+  /// Drops cancelled entries from the head of the heap.
+  void skip_cancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+  EventId next_id_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace tlb::sim

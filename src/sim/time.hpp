@@ -1,0 +1,24 @@
+// Simulated-time definitions for the tlb discrete-event engine.
+//
+// Simulated time is a double counting seconds since the start of the
+// simulation. A double gives us ~microsecond resolution over multi-hour
+// simulated runs, which is far finer than any modelled latency.
+#pragma once
+
+#include <limits>
+
+namespace tlb::sim {
+
+/// Simulated time in seconds since simulation start.
+using SimTime = double;
+
+/// Sentinel for "never" / "not yet scheduled".
+inline constexpr SimTime kTimeNever = std::numeric_limits<SimTime>::infinity();
+
+/// Convenience literals-ish helpers (explicit functions, no UDLs, so call
+/// sites stay grep-able).
+constexpr SimTime seconds(double s) noexcept { return s; }
+constexpr SimTime milliseconds(double ms) noexcept { return ms * 1e-3; }
+constexpr SimTime microseconds(double us) noexcept { return us * 1e-6; }
+
+}  // namespace tlb::sim

@@ -1,0 +1,91 @@
+#include "solver/maxflow.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+
+namespace tlb::solver {
+
+MaxFlow::MaxFlow(int vertex_count)
+    : adj_(static_cast<std::size_t>(vertex_count)),
+      level_(static_cast<std::size_t>(vertex_count)),
+      iter_(static_cast<std::size_t>(vertex_count)) {
+  assert(vertex_count > 0);
+}
+
+int MaxFlow::add_edge(int from, int to, double capacity) {
+  assert(from >= 0 && from < vertex_count());
+  assert(to >= 0 && to < vertex_count());
+  assert(capacity >= 0.0);
+  auto& fa = adj_[static_cast<std::size_t>(from)];
+  auto& ta = adj_[static_cast<std::size_t>(to)];
+  fa.push_back(Edge{to, capacity, capacity, static_cast<int>(ta.size())});
+  ta.push_back(Edge{from, 0.0, 0.0, static_cast<int>(fa.size()) - 1});
+  edge_index_.emplace_back(from, static_cast<int>(fa.size()) - 1);
+  return static_cast<int>(edge_index_.size()) - 1;
+}
+
+bool MaxFlow::bfs(int s, int t) {
+  std::fill(level_.begin(), level_.end(), -1);
+  std::queue<int> q;
+  level_[static_cast<std::size_t>(s)] = 0;
+  q.push(s);
+  while (!q.empty()) {
+    const int v = q.front();
+    q.pop();
+    for (const Edge& e : adj_[static_cast<std::size_t>(v)]) {
+      if (e.cap > kEps && level_[static_cast<std::size_t>(e.to)] < 0) {
+        level_[static_cast<std::size_t>(e.to)] =
+            level_[static_cast<std::size_t>(v)] + 1;
+        q.push(e.to);
+      }
+    }
+  }
+  return level_[static_cast<std::size_t>(t)] >= 0;
+}
+
+double MaxFlow::dfs(int v, int t, double pushed) {
+  if (v == t) return pushed;
+  auto& it = iter_[static_cast<std::size_t>(v)];
+  auto& edges = adj_[static_cast<std::size_t>(v)];
+  for (; it < edges.size(); ++it) {
+    Edge& e = edges[it];
+    if (e.cap <= kEps ||
+        level_[static_cast<std::size_t>(e.to)] !=
+            level_[static_cast<std::size_t>(v)] + 1) {
+      continue;
+    }
+    const double d = dfs(e.to, t, std::min(pushed, e.cap));
+    if (d > kEps) {
+      e.cap -= d;
+      adj_[static_cast<std::size_t>(e.to)][static_cast<std::size_t>(e.rev)]
+          .cap += d;
+      return d;
+    }
+  }
+  return 0.0;
+}
+
+double MaxFlow::solve(int s, int t) {
+  assert(s != t);
+  double flow = 0.0;
+  while (bfs(s, t)) {
+    std::fill(iter_.begin(), iter_.end(), 0);
+    while (true) {
+      const double f = dfs(s, t, std::numeric_limits<double>::infinity());
+      if (f <= kEps) break;
+      flow += f;
+    }
+  }
+  return flow;
+}
+
+double MaxFlow::flow_on(int index) const {
+  const auto [v, pos] = edge_index_.at(static_cast<std::size_t>(index));
+  const Edge& e =
+      adj_[static_cast<std::size_t>(v)][static_cast<std::size_t>(pos)];
+  return e.original - e.cap;
+}
+
+}  // namespace tlb::solver

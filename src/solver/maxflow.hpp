@@ -1,0 +1,50 @@
+// Dinic max-flow with real-valued capacities.
+//
+// Used as the feasibility oracle inside the global allocation solver: "can
+// every apprank obtain work_a / t cores from its adjacent nodes?" is a
+// transportation feasibility question (paper §5.4.2's LP, dualised into a
+// parametric flow problem).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tlb::solver {
+
+class MaxFlow {
+ public:
+  explicit MaxFlow(int vertex_count);
+
+  /// Adds a directed edge with the given capacity; returns its index for
+  /// later flow queries.
+  int add_edge(int from, int to, double capacity);
+
+  /// Computes the maximum flow from s to t. May be called once per graph.
+  double solve(int s, int t);
+
+  /// Flow routed through edge `index` (as returned by add_edge).
+  [[nodiscard]] double flow_on(int index) const;
+
+  [[nodiscard]] int vertex_count() const { return static_cast<int>(level_.size()); }
+
+  /// Capacities below this are treated as saturated/zero.
+  static constexpr double kEps = 1e-9;
+
+ private:
+  struct Edge {
+    int to;
+    double cap;        // residual capacity
+    double original;   // initial capacity
+    int rev;           // index of the reverse edge in adj_[to]
+  };
+
+  bool bfs(int s, int t);
+  double dfs(int v, int t, double pushed);
+
+  std::vector<std::vector<Edge>> adj_;
+  std::vector<int> level_;
+  std::vector<std::size_t> iter_;
+  std::vector<std::pair<int, int>> edge_index_;  // public idx -> (v, pos)
+};
+
+}  // namespace tlb::solver

@@ -1,0 +1,101 @@
+#include "solver/mincost_flow.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+
+namespace tlb::solver {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+MinCostFlow::MinCostFlow(int vertex_count)
+    : adj_(static_cast<std::size_t>(vertex_count)) {
+  assert(vertex_count > 0);
+}
+
+int MinCostFlow::add_edge(int from, int to, double capacity, double cost) {
+  assert(from >= 0 && from < static_cast<int>(adj_.size()));
+  assert(to >= 0 && to < static_cast<int>(adj_.size()));
+  assert(capacity >= 0.0 && cost >= 0.0);
+  auto& fa = adj_[static_cast<std::size_t>(from)];
+  auto& ta = adj_[static_cast<std::size_t>(to)];
+  fa.push_back(Edge{to, capacity, capacity, cost, static_cast<int>(ta.size())});
+  ta.push_back(Edge{from, 0.0, 0.0, -cost, static_cast<int>(fa.size()) - 1});
+  edge_index_.emplace_back(from, static_cast<int>(fa.size()) - 1);
+  return static_cast<int>(edge_index_.size()) - 1;
+}
+
+MinCostFlow::Result MinCostFlow::solve(int s, int t, double limit) {
+  const std::size_t n = adj_.size();
+  std::vector<double> potential(n, 0.0);  // costs are non-negative initially
+  std::vector<double> dist(n);
+  std::vector<int> prev_v(n);
+  std::vector<int> prev_e(n);
+  Result result;
+
+  while (result.flow + kEps < limit) {
+    // Dijkstra on reduced costs.
+    std::fill(dist.begin(), dist.end(), kInf);
+    dist[static_cast<std::size_t>(s)] = 0.0;
+    using Item = std::pair<double, int>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    pq.emplace(0.0, s);
+    while (!pq.empty()) {
+      auto [d, v] = pq.top();
+      pq.pop();
+      if (d > dist[static_cast<std::size_t>(v)] + kEps) continue;
+      const auto& edges = adj_[static_cast<std::size_t>(v)];
+      for (std::size_t i = 0; i < edges.size(); ++i) {
+        const Edge& e = edges[i];
+        if (e.cap <= kEps) continue;
+        const double nd = d + e.cost + potential[static_cast<std::size_t>(v)] -
+                          potential[static_cast<std::size_t>(e.to)];
+        if (nd + kEps < dist[static_cast<std::size_t>(e.to)]) {
+          dist[static_cast<std::size_t>(e.to)] = nd;
+          prev_v[static_cast<std::size_t>(e.to)] = v;
+          prev_e[static_cast<std::size_t>(e.to)] = static_cast<int>(i);
+          pq.emplace(nd, e.to);
+        }
+      }
+    }
+    if (dist[static_cast<std::size_t>(t)] == kInf) break;  // no augmenting path
+    for (std::size_t v = 0; v < n; ++v) {
+      if (dist[v] < kInf) potential[v] += dist[v];
+    }
+    // Find bottleneck along the path.
+    double push = limit - result.flow;
+    for (int v = t; v != s; v = prev_v[static_cast<std::size_t>(v)]) {
+      const Edge& e = adj_[static_cast<std::size_t>(
+          prev_v[static_cast<std::size_t>(v)])]
+                          [static_cast<std::size_t>(
+                              prev_e[static_cast<std::size_t>(v)])];
+      push = std::min(push, e.cap);
+    }
+    if (push <= kEps) break;
+    // Apply.
+    for (int v = t; v != s; v = prev_v[static_cast<std::size_t>(v)]) {
+      Edge& e = adj_[static_cast<std::size_t>(
+          prev_v[static_cast<std::size_t>(v)])]
+                    [static_cast<std::size_t>(
+                        prev_e[static_cast<std::size_t>(v)])];
+      e.cap -= push;
+      adj_[static_cast<std::size_t>(e.to)][static_cast<std::size_t>(e.rev)]
+          .cap += push;
+      result.cost += push * e.cost;
+    }
+    result.flow += push;
+  }
+  return result;
+}
+
+double MinCostFlow::flow_on(int index) const {
+  const auto [v, pos] = edge_index_.at(static_cast<std::size_t>(index));
+  const Edge& e =
+      adj_[static_cast<std::size_t>(v)][static_cast<std::size_t>(pos)];
+  return e.original - e.cap;
+}
+
+}  // namespace tlb::solver

@@ -1,0 +1,47 @@
+// Min-cost max-flow (successive shortest paths with Dijkstra + Johnson
+// potentials) over real-valued capacities and non-negative costs.
+//
+// Realises the paper's "1e-6 incentive to prefer local cores" exactly: the
+// allocation at the optimal objective is routed with cost 0 on each
+// apprank's home edge and cost 1 on remote edges, so among all optimal
+// allocations the one with minimal offloaded work is chosen (§5.4.2).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tlb::solver {
+
+class MinCostFlow {
+ public:
+  explicit MinCostFlow(int vertex_count);
+
+  /// Adds a directed edge; returns an index for flow queries.
+  int add_edge(int from, int to, double capacity, double cost);
+
+  /// Sends up to `limit` units from s to t at minimum cost.
+  /// Returns {flow, cost}.
+  struct Result {
+    double flow = 0.0;
+    double cost = 0.0;
+  };
+  Result solve(int s, int t, double limit);
+
+  [[nodiscard]] double flow_on(int index) const;
+
+  static constexpr double kEps = 1e-9;
+
+ private:
+  struct Edge {
+    int to;
+    double cap;
+    double original;
+    double cost;
+    int rev;
+  };
+
+  std::vector<std::vector<Edge>> adj_;
+  std::vector<std::pair<int, int>> edge_index_;
+};
+
+}  // namespace tlb::solver

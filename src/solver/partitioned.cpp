@@ -1,0 +1,90 @@
+#include "solver/partitioned.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tlb::solver {
+
+PartitionedResult solve_allocation_partitioned(const AllocationProblem& p,
+                                               int appranks_per_node,
+                                               int group_size) {
+  assert(p.graph != nullptr && group_size >= 1 && appranks_per_node >= 1);
+  const auto& g = *p.graph;
+  const int nodes = g.right_count();
+  const int appranks = g.left_count();
+
+  PartitionedResult out;
+  out.cores.resize(static_cast<std::size_t>(appranks));
+  for (int a = 0; a < appranks; ++a) {
+    // Default: every worker keeps its 1-core floor (overwritten for
+    // in-group edges below).
+    out.cores[static_cast<std::size_t>(a)].assign(
+        static_cast<std::size_t>(g.left_degree(a)), 1);
+  }
+
+  auto home_of = [&](int a) { return g.neighbors_of_left(a).front(); };
+
+  for (int lo = 0; lo < nodes; lo += group_size) {
+    const int hi = std::min(nodes, lo + group_size);
+    ++out.groups;
+
+    // Appranks homed in [lo, hi).
+    std::vector<int> group_appranks;
+    for (int a = 0; a < appranks; ++a) {
+      if (home_of(a) >= lo && home_of(a) < hi) group_appranks.push_back(a);
+    }
+    if (group_appranks.empty()) continue;
+
+    // Induced subgraph: remap nodes to [0, hi-lo) and appranks densely;
+    // drop edges leaving the group. Adjacency order is preserved, so the
+    // home node stays the first neighbour.
+    graph::BipartiteGraph sub(static_cast<int>(group_appranks.size()),
+                              hi - lo);
+    // Per (sub-apprank, sub-slot) -> original slot, for mapping back.
+    std::vector<std::vector<std::size_t>> slot_map(group_appranks.size());
+    for (std::size_t sa = 0; sa < group_appranks.size(); ++sa) {
+      const int a = group_appranks[sa];
+      const auto& nb = g.neighbors_of_left(a);
+      for (std::size_t j = 0; j < nb.size(); ++j) {
+        if (nb[j] >= lo && nb[j] < hi) {
+          sub.add_edge(static_cast<int>(sa), nb[j] - lo);
+          slot_map[sa].push_back(j);
+        }
+      }
+    }
+
+    // Capacities: reserve the 1-core floor of every resident worker whose
+    // apprank is homed outside this group (its edge was dropped but the
+    // worker process still exists on the node).
+    AllocationProblem sp;
+    sp.graph = &sub;
+    sp.node_cores.resize(static_cast<std::size_t>(hi - lo));
+    for (int n = lo; n < hi; ++n) {
+      int reserved = 0;
+      for (int a : g.neighbors_of_right(n)) {
+        const int h = home_of(a);
+        if (h < lo || h >= hi) ++reserved;
+      }
+      sp.node_cores[static_cast<std::size_t>(n - lo)] =
+          p.node_cores[static_cast<std::size_t>(n)] - reserved;
+    }
+    sp.work.reserve(group_appranks.size());
+    for (int a : group_appranks) {
+      sp.work.push_back(p.work[static_cast<std::size_t>(a)]);
+    }
+
+    const AllocationResult sr = solve_allocation(sp);
+    out.objective = std::max(out.objective, sr.objective);
+    for (std::size_t sa = 0; sa < group_appranks.size(); ++sa) {
+      const int a = group_appranks[sa];
+      for (std::size_t sj = 0; sj < slot_map[sa].size(); ++sj) {
+        out.cores[static_cast<std::size_t>(a)][slot_map[sa][sj]] =
+            sr.cores[sa][sj];
+      }
+    }
+  }
+  (void)appranks_per_node;
+  return out;
+}
+
+}  // namespace tlb::solver

@@ -1,0 +1,39 @@
+// Partitioned global allocation (paper §5.4.2):
+//
+//   "Since the time to solve the linear program grows approximately
+//    quadratically with the size of the graph, larger graphs than 32
+//    nodes should be partitioned and solved in parts on multiple nodes.
+//    These 32-node groups are very likely to contain heavily and lightly
+//    loaded nodes and allow almost complete load balancing."
+//
+// The cluster's nodes are split into groups of at most `group_size`; each
+// group, together with the appranks homed in it and the induced subgraph
+// (helper edges leaving the group are dropped), is solved independently.
+// The result is an ownership plan of the same shape as solve_allocation's,
+// strictly respecting per-node capacities; quality degrades only by the
+// work trapped behind dropped cross-group edges.
+#pragma once
+
+#include <vector>
+
+#include "solver/allocation.hpp"
+
+namespace tlb::solver {
+
+struct PartitionedResult {
+  /// Same indexing as AllocationResult::cores: per apprank, per adjacency
+  /// slot of the ORIGINAL graph. Slots whose edge leaves the apprank's
+  /// group hold exactly the 1-core worker floor.
+  std::vector<std::vector<int>> cores;
+  /// Worst per-group continuous objective (max work/cores within a group).
+  double objective = 0.0;
+  int groups = 0;
+};
+
+/// Solves `problem` in independent node groups of at most `group_size`
+/// nodes. `appranks_per_node` identifies each apprank's home group.
+PartitionedResult solve_allocation_partitioned(const AllocationProblem& problem,
+                                               int appranks_per_node,
+                                               int group_size = 32);
+
+}  // namespace tlb::solver

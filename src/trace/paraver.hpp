@@ -1,0 +1,26 @@
+// Paraver trace export.
+//
+// BSC's Paraver is the tool the paper's trace figures were produced with.
+// This exporter writes the recorder's busy-core and owned-core series as a
+// Paraver event trace (.prv) plus the matching row-label file (.row): one
+// Paraver "thread" per (node, apprank) pair, with event type 90000001
+// carrying the busy-core count and 90000002 the owned-core count. Times
+// are nanoseconds.
+#pragma once
+
+#include <string>
+
+#include "trace/recorder.hpp"
+
+namespace tlb::trace {
+
+inline constexpr int kParaverBusyEvent = 90000001;
+inline constexpr int kParaverOwnedEvent = 90000002;
+
+/// The .prv trace body for the recorded run ending at `end`.
+std::string to_paraver(const Recorder& recorder, sim::SimTime end);
+
+/// The .row file naming each Paraver thread "node N apprank A".
+std::string paraver_row_labels(const Recorder& recorder);
+
+}  // namespace tlb::trace

@@ -1,0 +1,99 @@
+#include "trace/recorder.hpp"
+
+#include <cassert>
+#include <sstream>
+
+namespace tlb::trace {
+
+Recorder::Recorder(int nodes, int appranks)
+    : nodes_(nodes),
+      appranks_(appranks),
+      busy_(static_cast<std::size_t>(nodes) * static_cast<std::size_t>(appranks)),
+      owned_(static_cast<std::size_t>(nodes) * static_cast<std::size_t>(appranks)),
+      node_busy_(static_cast<std::size_t>(nodes)) {
+  assert(nodes > 0 && appranks > 0);
+}
+
+void Recorder::busy_delta(sim::SimTime t, int node, int apprank, int delta) {
+  busy_[idx(node, apprank)].add(t, delta);
+  node_busy_[static_cast<std::size_t>(node)].add(t, delta);
+}
+
+void Recorder::set_owned(sim::SimTime t, int node, int apprank, int count) {
+  owned_[idx(node, apprank)].set(t, count);
+}
+
+void Recorder::task_executed(int apprank, int node, int home_node,
+                             double work) {
+  (void)apprank;
+  ++tasks_total_;
+  work_total_ += work;
+  if (node != home_node) {
+    ++tasks_off_;
+    work_off_ += work;
+  }
+}
+
+const StepSeries& Recorder::busy(int node, int apprank) const {
+  return busy_[idx(node, apprank)];
+}
+
+const StepSeries& Recorder::owned(int node, int apprank) const {
+  return owned_[idx(node, apprank)];
+}
+
+const StepSeries& Recorder::node_busy(int node) const {
+  return node_busy_.at(static_cast<std::size_t>(node));
+}
+
+std::string ascii_sparkline(const std::vector<double>& values, double peak) {
+  static constexpr char kRamp[] = " .:-=+*#%@";
+  constexpr int kLevels = static_cast<int>(sizeof(kRamp) - 2);
+  std::string out;
+  out.reserve(values.size());
+  for (double v : values) {
+    double frac = peak > 0.0 ? v / peak : 0.0;
+    if (frac < 0.0) frac = 0.0;
+    if (frac > 1.0) frac = 1.0;
+    out.push_back(kRamp[static_cast<int>(frac * kLevels + 0.5)]);
+  }
+  return out;
+}
+
+std::string ascii_timeline(
+    const std::vector<std::pair<std::string, const StepSeries*>>& rows,
+    sim::SimTime t0, sim::SimTime t1, int bins, double peak) {
+  std::size_t label_width = 0;
+  for (const auto& [label, series] : rows) {
+    label_width = std::max(label_width, label.size());
+  }
+  std::ostringstream out;
+  for (const auto& [label, series] : rows) {
+    out << label << std::string(label_width - label.size(), ' ') << " |"
+        << ascii_sparkline(series->sample(t0, t1, bins), peak) << "|\n";
+  }
+  return out.str();
+}
+
+std::string to_csv(
+    const std::vector<std::pair<std::string, const StepSeries*>>& rows,
+    sim::SimTime t0, sim::SimTime t1, int bins) {
+  std::ostringstream out;
+  out << "time";
+  std::vector<std::vector<double>> cols;
+  cols.reserve(rows.size());
+  for (const auto& [label, series] : rows) {
+    out << ',' << label;
+    cols.push_back(series->sample(t0, t1, bins));
+  }
+  out << '\n';
+  const double width = (t1 - t0) / bins;
+  for (int i = 0; i < bins; ++i) {
+    out << (t0 + (i + 0.5) * width);
+    for (const auto& col : cols) out << ',' << col[static_cast<std::size_t>(i)];
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace tlb::trace

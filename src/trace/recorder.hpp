@@ -1,0 +1,77 @@
+// Execution trace recorder.
+//
+// Captures, per (node, apprank):
+//   - busy cores: number of cores executing that apprank's tasks on that
+//     node (the left-hand traces of Fig 9);
+//   - owned cores: DROM ownership (the right-hand traces of Fig 9);
+// plus per-node totals and offload statistics. Renderers below turn the
+// series into ASCII timelines and CSV for the paper's trace figures.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/step_series.hpp"
+
+namespace tlb::trace {
+
+class Recorder {
+ public:
+  Recorder(int nodes, int appranks);
+
+  [[nodiscard]] int nodes() const { return nodes_; }
+  [[nodiscard]] int appranks() const { return appranks_; }
+
+  void busy_delta(sim::SimTime t, int node, int apprank, int delta);
+  void set_owned(sim::SimTime t, int node, int apprank, int count);
+  void task_executed(int apprank, int node, int home_node, double work);
+
+  [[nodiscard]] const StepSeries& busy(int node, int apprank) const;
+  [[nodiscard]] const StepSeries& owned(int node, int apprank) const;
+  /// Total busy cores on a node (all appranks).
+  [[nodiscard]] const StepSeries& node_busy(int node) const;
+
+  // Offload statistics (paper Fig 5 discussion: the global policy
+  // minimises task offloading).
+  [[nodiscard]] std::uint64_t tasks_total() const { return tasks_total_; }
+  [[nodiscard]] std::uint64_t tasks_offloaded() const { return tasks_off_; }
+  [[nodiscard]] double work_total() const { return work_total_; }
+  [[nodiscard]] double work_offloaded() const { return work_off_; }
+  [[nodiscard]] double offload_fraction() const {
+    return work_total_ > 0.0 ? work_off_ / work_total_ : 0.0;
+  }
+
+ private:
+  [[nodiscard]] std::size_t idx(int node, int apprank) const {
+    return static_cast<std::size_t>(node) * static_cast<std::size_t>(appranks_) +
+           static_cast<std::size_t>(apprank);
+  }
+
+  int nodes_;
+  int appranks_;
+  std::vector<StepSeries> busy_;
+  std::vector<StepSeries> owned_;
+  std::vector<StepSeries> node_busy_;
+  std::uint64_t tasks_total_ = 0;
+  std::uint64_t tasks_off_ = 0;
+  double work_total_ = 0.0;
+  double work_off_ = 0.0;
+};
+
+/// One-line sparkline of binned values scaled to [0, peak]; characters
+/// " .:-=+*#%@" from empty to full.
+std::string ascii_sparkline(const std::vector<double>& values, double peak);
+
+/// Multi-row ASCII timeline of a set of labelled series over [t0, t1).
+std::string ascii_timeline(
+    const std::vector<std::pair<std::string, const StepSeries*>>& rows,
+    sim::SimTime t0, sim::SimTime t1, int bins, double peak);
+
+/// CSV with one column per labelled series, sampled into `bins` bins.
+std::string to_csv(
+    const std::vector<std::pair<std::string, const StepSeries*>>& rows,
+    sim::SimTime t0, sim::SimTime t1, int bins);
+
+}  // namespace tlb::trace

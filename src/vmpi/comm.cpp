@@ -1,0 +1,181 @@
+#include "vmpi/comm.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace tlb::vmpi {
+
+namespace {
+/// Intra-node (shared-memory) copy bandwidth; far faster than the network.
+constexpr double kShmBandwidth = 80e9;  // bytes/s
+constexpr tlb::sim::SimTime kShmLatency = 2e-7;  // 200 ns
+
+int ceil_log2(int p) {
+  int r = 0;
+  int v = 1;
+  while (v < p) {
+    v <<= 1;
+    ++r;
+  }
+  return r;
+}
+}  // namespace
+
+Communicator::Communicator(sim::Engine& engine, sim::LinkSpec link,
+                           std::vector<int> rank_to_node)
+    : engine_(engine), link_(link), rank_to_node_(std::move(rank_to_node)) {
+  assert(!rank_to_node_.empty());
+  mailboxes_.resize(rank_to_node_.size());
+  last_arrival_.assign(rank_to_node_.size(),
+                       std::vector<sim::SimTime>(rank_to_node_.size(), 0.0));
+}
+
+sim::SimTime Communicator::transfer_cost(RankId src, RankId dst,
+                                         std::uint64_t bytes) const {
+  if (node_of(src) == node_of(dst)) {
+    return kShmLatency + static_cast<double>(bytes) / kShmBandwidth;
+  }
+  return link_.transfer_time(bytes);
+}
+
+void Communicator::send(RankId src, RankId dst, int tag, std::uint64_t bytes,
+                        std::function<void(const Message&)> on_delivered) {
+  assert(src >= 0 && src < size() && dst >= 0 && dst < size());
+  ++sent_count_;
+  bytes_count_ += bytes;
+
+  Message msg;
+  msg.source = src;
+  msg.tag = tag;
+  msg.bytes = bytes;
+  msg.sent_at = engine_.now();
+
+  sim::SimTime arrival = engine_.now() + transfer_cost(src, dst, bytes);
+  // Per-channel FIFO: a later (smaller) message may not overtake an earlier
+  // (larger) one on the same channel.
+  auto& last = last_arrival_[static_cast<std::size_t>(src)]
+                            [static_cast<std::size_t>(dst)];
+  arrival = std::max(arrival, last);
+  last = arrival;
+  msg.delivered_at = arrival;
+
+  engine_.at(arrival, [this, dst, msg, cb = std::move(on_delivered)]() {
+    deliver(dst, msg);
+    if (cb) cb(msg);
+  });
+}
+
+void Communicator::deliver(RankId dst, Message msg) {
+  Mailbox& box = mailboxes_[static_cast<std::size_t>(dst)];
+  for (auto it = box.posted.begin(); it != box.posted.end(); ++it) {
+    if (matches(*it, msg)) {
+      auto cb = std::move(it->cb);
+      box.posted.erase(it);
+      cb(msg);
+      return;
+    }
+  }
+  box.unexpected.push_back(msg);
+}
+
+void Communicator::recv(RankId dst, RankId src, int tag,
+                        std::function<void(const Message&)> cb) {
+  assert(dst >= 0 && dst < size());
+  Mailbox& box = mailboxes_[static_cast<std::size_t>(dst)];
+  PostedRecv pr{src, tag, std::move(cb)};
+  for (auto it = box.unexpected.begin(); it != box.unexpected.end(); ++it) {
+    if (matches(pr, *it)) {
+      Message msg = *it;
+      box.unexpected.erase(it);
+      pr.cb(msg);
+      return;
+    }
+  }
+  box.posted.push_back(std::move(pr));
+}
+
+sim::SimTime Communicator::collective_cost(int rounds) const {
+  return static_cast<double>(rounds) * link_.latency *
+         static_cast<double>(ceil_log2(size()));
+}
+
+void Communicator::barrier(RankId rank, std::function<void()> cb) {
+  assert(rank >= 0 && rank < size());
+  (void)rank;
+  barrier_state_.barrier_cbs.push_back(std::move(cb));
+  if (++barrier_state_.arrived == size()) {
+    auto cbs = std::move(barrier_state_.barrier_cbs);
+    barrier_state_ = Collective{};
+    engine_.after(collective_cost(1), [cbs = std::move(cbs)]() {
+      for (const auto& f : cbs) f();
+    });
+  }
+}
+
+void Communicator::allreduce_sum(RankId rank, double value,
+                                 std::function<void(double)> cb) {
+  assert(rank >= 0 && rank < size());
+  (void)rank;
+  reduce_state_.accum += value;
+  reduce_state_.reduce_cbs.push_back(std::move(cb));
+  if (++reduce_state_.arrived == size()) {
+    const double total = reduce_state_.accum;
+    auto cbs = std::move(reduce_state_.reduce_cbs);
+    reduce_state_ = Collective{};
+    engine_.after(collective_cost(2), [cbs = std::move(cbs), total]() {
+      for (const auto& f : cbs) f(total);
+    });
+  }
+}
+
+void Communicator::bcast(RankId rank, RankId root, std::uint64_t bytes,
+                         std::function<void()> cb) {
+  assert(rank >= 0 && rank < size());
+  assert(root >= 0 && root < size());
+  (void)rank;
+  bcast_state_.root = root;
+  bcast_state_.payload = bytes;
+  bcast_state_.barrier_cbs.push_back(std::move(cb));
+  if (++bcast_state_.arrived == size()) {
+    const std::uint64_t payload = bcast_state_.payload;
+    auto cbs = std::move(bcast_state_.barrier_cbs);
+    bcast_state_ = Collective{};
+    const sim::SimTime cost =
+        collective_cost(1) +
+        static_cast<double>(payload) / link_.bandwidth;
+    engine_.after(cost, [cbs = std::move(cbs)]() {
+      for (const auto& f : cbs) f();
+    });
+  }
+}
+
+void Communicator::gather(RankId rank, RankId root, double value,
+                          std::function<void(const std::vector<double>&)> cb) {
+  assert(rank >= 0 && rank < size());
+  assert(root >= 0 && root < size());
+  if (gather_state_.values.empty()) {
+    gather_state_.values.assign(static_cast<std::size_t>(size()), 0.0);
+  }
+  gather_state_.root = root;
+  gather_state_.values[static_cast<std::size_t>(rank)] = value;
+  gather_state_.gather_cbs.push_back(std::move(cb));
+  gather_state_.gather_ranks.push_back(rank);
+  if (++gather_state_.arrived == size()) {
+    auto values = std::move(gather_state_.values);
+    auto cbs = std::move(gather_state_.gather_cbs);
+    auto ranks = std::move(gather_state_.gather_ranks);
+    const RankId r = gather_state_.root;
+    gather_state_ = Collective{};
+    engine_.after(collective_cost(1),
+                  [values = std::move(values), cbs = std::move(cbs),
+                   ranks = std::move(ranks), r]() {
+                    static const std::vector<double> kEmpty;
+                    for (std::size_t i = 0; i < cbs.size(); ++i) {
+                      cbs[i](ranks[i] == r ? values : kEmpty);
+                    }
+                  });
+  }
+}
+
+}  // namespace tlb::vmpi

@@ -1,0 +1,142 @@
+// Virtual MPI: a message-passing layer over the discrete-event engine.
+//
+// The real system uses MPI both for the application's own communication and
+// for the Nanos6 runtime's control messages / data transfers. This layer
+// reproduces the semantics that matter for load-balancing studies:
+//   - point-to-point messages with (source, tag) matching, wildcards,
+//     and per-channel FIFO ordering;
+//   - transfer cost latency + bytes/bandwidth between distinct nodes, and a
+//     much cheaper shared-memory cost within a node;
+//   - barrier and allreduce with dissemination-style log2(P) cost.
+//
+// All operations are non-blocking with completion callbacks, which is the
+// natural shape inside a discrete-event simulation (there is no thread to
+// block).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sim/cluster_spec.hpp"
+#include "sim/engine.hpp"
+
+namespace tlb::vmpi {
+
+using RankId = int;
+
+/// Wildcard for recv(): match any source rank.
+inline constexpr RankId kAnySource = -1;
+/// Wildcard for recv(): match any tag.
+inline constexpr int kAnyTag = -1;
+
+struct Message {
+  RankId source = 0;
+  int tag = 0;
+  std::uint64_t bytes = 0;
+  sim::SimTime sent_at = 0.0;
+  sim::SimTime delivered_at = 0.0;
+};
+
+class Communicator {
+ public:
+  /// `rank_to_node[r]` is the node hosting rank r; used to price transfers.
+  Communicator(sim::Engine& engine, sim::LinkSpec link,
+               std::vector<int> rank_to_node);
+
+  [[nodiscard]] int size() const {
+    return static_cast<int>(rank_to_node_.size());
+  }
+  [[nodiscard]] int node_of(RankId r) const {
+    return rank_to_node_.at(static_cast<std::size_t>(r));
+  }
+
+  /// Cost model for a single transfer between two ranks.
+  [[nodiscard]] sim::SimTime transfer_cost(RankId src, RankId dst,
+                                           std::uint64_t bytes) const;
+
+  /// Non-blocking send. `on_delivered` (optional) fires at the sender-side
+  /// completion time, which equals the arrival time at the receiver (eager
+  /// protocol, as Nanos6 uses for control messages).
+  void send(RankId src, RankId dst, int tag, std::uint64_t bytes,
+            std::function<void(const Message&)> on_delivered = {});
+
+  /// Non-blocking receive; `cb` fires when a matching message is available
+  /// (immediately if one already arrived). `src` may be kAnySource and
+  /// `tag` may be kAnyTag.
+  void recv(RankId dst, RankId src, int tag,
+            std::function<void(const Message&)> cb);
+
+  /// Collective barrier: every rank must call once per barrier generation;
+  /// all callbacks fire at the same simulated time, arrival-of-last plus a
+  /// dissemination cost of ceil(log2 P) network latencies.
+  void barrier(RankId rank, std::function<void()> cb);
+
+  /// Collective sum-allreduce of one double per rank; callbacks receive the
+  /// global sum. Cost: 2 * ceil(log2 P) latencies (reduce + broadcast).
+  void allreduce_sum(RankId rank, double value,
+                     std::function<void(double)> cb);
+
+  /// Broadcast of `bytes` from `root`; every rank's callback fires when
+  /// the payload has reached it (binomial tree: ceil(log2 P) rounds of
+  /// latency plus one payload transfer time).
+  void bcast(RankId rank, RankId root, std::uint64_t bytes,
+             std::function<void()> cb);
+
+  /// Gather of one double per rank to `root`; the root's callback receives
+  /// all values indexed by rank (others get an empty vector). Cost:
+  /// ceil(log2 P) latencies.
+  void gather(RankId rank, RankId root, double value,
+              std::function<void(const std::vector<double>&)> cb);
+
+  /// Number of point-to-point messages sent so far (diagnostic).
+  [[nodiscard]] std::uint64_t messages_sent() const { return sent_count_; }
+  /// Total point-to-point payload bytes sent so far (diagnostic).
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_count_; }
+
+ private:
+  struct PostedRecv {
+    RankId src;
+    int tag;
+    std::function<void(const Message&)> cb;
+  };
+  struct Mailbox {
+    std::deque<Message> unexpected;
+    std::deque<PostedRecv> posted;
+  };
+  struct Collective {
+    int arrived = 0;
+    double accum = 0.0;
+    std::uint64_t payload = 0;
+    std::vector<double> values;
+    std::vector<std::function<void()>> barrier_cbs;
+    std::vector<std::function<void(double)>> reduce_cbs;
+    std::vector<std::function<void(const std::vector<double>&)>> gather_cbs;
+    std::vector<RankId> gather_ranks;
+    RankId root = 0;
+  };
+
+  void deliver(RankId dst, Message msg);
+  [[nodiscard]] static bool matches(const PostedRecv& r, const Message& m) {
+    return (r.src == kAnySource || r.src == m.source) &&
+           (r.tag == kAnyTag || r.tag == m.tag);
+  }
+  [[nodiscard]] sim::SimTime collective_cost(int rounds) const;
+
+  sim::Engine& engine_;
+  sim::LinkSpec link_;
+  std::vector<int> rank_to_node_;
+  std::vector<Mailbox> mailboxes_;
+  // FIFO enforcement: last scheduled arrival per (src, dst) channel.
+  std::vector<std::vector<sim::SimTime>> last_arrival_;
+  Collective barrier_state_;
+  Collective reduce_state_;
+  Collective bcast_state_;
+  Collective gather_state_;
+  std::uint64_t sent_count_ = 0;
+  std::uint64_t bytes_count_ = 0;
+};
+
+}  // namespace tlb::vmpi

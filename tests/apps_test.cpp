@@ -1,0 +1,402 @@
+// Unit tests for the application workloads: synthetic, MicroPP, n-body.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "apps/micropp/hex8.hpp"
+#include "apps/micropp/material.hpp"
+#include "apps/micropp/micro_solver.hpp"
+#include "apps/micropp/workload.hpp"
+#include "apps/nbody/octree.hpp"
+#include "apps/nbody/orb.hpp"
+#include "apps/nbody/workload.hpp"
+#include "apps/synthetic.hpp"
+#include "metrics/imbalance.hpp"
+
+namespace tlb::apps {
+namespace {
+
+// ---- Synthetic ---------------------------------------------------------------
+
+TEST(Synthetic, HitsTargetImbalanceExactly) {
+  for (double imb : {1.0, 1.5, 2.0, 3.0, 4.0}) {
+    SyntheticConfig cfg;
+    cfg.appranks = 8;
+    cfg.imbalance = imb;
+    SyntheticWorkload wl(cfg);
+    EXPECT_NEAR(wl.realized_imbalance(), imb, 1e-9) << "imb=" << imb;
+  }
+}
+
+TEST(Synthetic, MeanDurationIsBase) {
+  SyntheticConfig cfg;
+  cfg.appranks = 16;
+  cfg.imbalance = 2.5;
+  cfg.base_duration = 0.05;
+  SyntheticWorkload wl(cfg);
+  const auto& means = wl.rank_means();
+  const double avg =
+      std::accumulate(means.begin(), means.end(), 0.0) / means.size();
+  EXPECT_NEAR(avg, 0.05, 1e-12);
+}
+
+TEST(Synthetic, WorstRankCarriesTheMax) {
+  SyntheticConfig cfg;
+  cfg.appranks = 8;
+  cfg.imbalance = 3.0;
+  cfg.worst_rank = 5;
+  SyntheticWorkload wl(cfg);
+  const auto& means = wl.rank_means();
+  for (std::size_t r = 0; r < means.size(); ++r) {
+    EXPECT_LE(means[r], means[5] + 1e-12);
+  }
+  EXPECT_NEAR(means[5], 0.05 * 3.0, 1e-12);
+}
+
+TEST(Synthetic, LeastRankGetsMinimum) {
+  SyntheticConfig cfg;
+  cfg.appranks = 8;
+  cfg.imbalance = 2.0;
+  cfg.worst_rank = 0;
+  cfg.least_rank = 3;
+  SyntheticWorkload wl(cfg);
+  const auto& means = wl.rank_means();
+  for (std::size_t r = 0; r < means.size(); ++r) {
+    EXPECT_GE(means[r], means[3] - 1e-12);
+  }
+}
+
+TEST(Synthetic, TaskDurationsAverageToRankMean) {
+  SyntheticConfig cfg;
+  cfg.appranks = 4;
+  cfg.imbalance = 2.0;
+  cfg.tasks_per_rank = 4000;
+  SyntheticWorkload wl(cfg);
+  const auto specs = wl.make_tasks(0, 0);
+  double sum = 0.0;
+  for (const auto& s : specs) sum += s.work;
+  EXPECT_NEAR(sum / specs.size(), wl.rank_means()[0],
+              wl.rank_means()[0] * 0.05);
+}
+
+TEST(Synthetic, RejectsInvalidImbalance) {
+  SyntheticConfig cfg;
+  cfg.appranks = 4;
+  cfg.imbalance = 5.0;  // > appranks
+  EXPECT_THROW(SyntheticWorkload{cfg}, std::invalid_argument);
+  cfg.imbalance = 0.5;
+  EXPECT_THROW(SyntheticWorkload{cfg}, std::invalid_argument);
+}
+
+TEST(Synthetic, TasksHaveDistinctRegions) {
+  SyntheticConfig cfg;
+  cfg.appranks = 2;
+  cfg.tasks_per_rank = 10;
+  SyntheticWorkload wl(cfg);
+  const auto specs = wl.make_tasks(0, 0);
+  for (std::size_t i = 0; i + 1 < specs.size(); ++i) {
+    EXPECT_LE(specs[i].accesses[0].end(), specs[i + 1].accesses[0].start);
+  }
+}
+
+// ---- MicroPP kernels ------------------------------------------------------------
+
+TEST(Hex8, StiffnessIsSymmetric) {
+  const auto coords = micropp::unit_cube_coords(1.0);
+  const auto c = micropp::elastic_matrix({});
+  const auto ke = micropp::Hex8::stiffness(coords, c);
+  for (int i = 0; i < 24; ++i) {
+    for (int j = 0; j < 24; ++j) {
+      EXPECT_NEAR(ke[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)],
+                  ke[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)],
+                  1e-3)
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(Hex8, RigidTranslationProducesNoForce) {
+  const auto coords = micropp::unit_cube_coords(1.0);
+  const auto c = micropp::elastic_matrix({});
+  const auto ke = micropp::Hex8::stiffness(coords, c);
+  // u = constant translation in x.
+  micropp::ElementVector u{};
+  for (int n = 0; n < 8; ++n) u[static_cast<std::size_t>(3 * n)] = 1.0;
+  for (int i = 0; i < 24; ++i) {
+    double f = 0.0;
+    for (int j = 0; j < 24; ++j) {
+      f += ke[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] *
+           u[static_cast<std::size_t>(j)];
+    }
+    EXPECT_NEAR(f, 0.0, 1e-4);
+  }
+}
+
+TEST(Hex8, StiffnessDiagonalPositive) {
+  const auto coords = micropp::unit_cube_coords(0.5);
+  const auto c = micropp::elastic_matrix({});
+  const auto ke = micropp::Hex8::stiffness(coords, c);
+  for (int i = 0; i < 24; ++i) {
+    EXPECT_GT(ke[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)], 0.0);
+  }
+}
+
+TEST(Hex8, UniformStrainMatchesConstitutive) {
+  // u_z = -0.01 * z -> strain ezz = -0.01, uniform over the element.
+  const auto coords = micropp::unit_cube_coords(1.0);
+  micropp::ElementVector u{};
+  for (int n = 0; n < 8; ++n) {
+    const double z = coords[static_cast<std::size_t>(n)][2];
+    u[static_cast<std::size_t>(3 * n + 2)] = -0.01 * z;
+  }
+  for (int gp = 0; gp < micropp::Hex8::kGaussPoints; ++gp) {
+    const auto eps = micropp::Hex8::strain_at_gp(coords, gp, u);
+    EXPECT_NEAR(eps[2], -0.01, 1e-12);
+    EXPECT_NEAR(eps[0], 0.0, 1e-12);
+    EXPECT_NEAR(eps[3], 0.0, 1e-12);
+  }
+}
+
+TEST(Hex8, FlopCountersAccumulate) {
+  const auto coords = micropp::unit_cube_coords(1.0);
+  const auto c = micropp::elastic_matrix({});
+  std::uint64_t flops = 0;
+  (void)micropp::Hex8::stiffness(coords, c, &flops);
+  EXPECT_GT(flops, 10000u);  // 8 GPs x dense 24x24 work
+}
+
+TEST(Material, ElasticMatrixStructure) {
+  const auto c = micropp::elastic_matrix({.young = 200e9, .poisson = 0.3});
+  EXPECT_GT(c[0][0], c[0][1]);
+  EXPECT_DOUBLE_EQ(c[0][1], c[0][2]);
+  EXPECT_GT(c[3][3], 0.0);
+  EXPECT_DOUBLE_EQ(c[0][3], 0.0);
+}
+
+TEST(Material, SmallStrainStaysElastic) {
+  micropp::PlasticParams mat;
+  micropp::Voigt6 eps{1e-6, 0, 0, 0, 0, 0};
+  const auto r = micropp::j2_return_map(mat, eps, 0.0);
+  EXPECT_FALSE(r.plastic);
+  EXPECT_EQ(r.iterations, 1);
+  EXPECT_DOUBLE_EQ(r.alpha, 0.0);
+}
+
+TEST(Material, LargeStrainYields) {
+  micropp::PlasticParams mat;
+  micropp::Voigt6 eps{0.02, -0.01, -0.01, 0, 0, 0};
+  const auto r = micropp::j2_return_map(mat, eps, 0.0);
+  EXPECT_TRUE(r.plastic);
+  EXPECT_GT(r.alpha, 0.0);
+  // Stress must sit on (or inside numerically) the expanded yield surface.
+  const double vm = micropp::von_mises(r.stress);
+  const double yield_now = mat.yield_stress + mat.hardening * r.alpha;
+  EXPECT_NEAR(vm, yield_now, yield_now * 0.01);
+}
+
+TEST(Material, HardeningRaisesYield) {
+  micropp::PlasticParams mat;
+  micropp::Voigt6 eps{0.02, -0.01, -0.01, 0, 0, 0};
+  const auto first = micropp::j2_return_map(mat, eps, 0.0);
+  const auto second = micropp::j2_return_map(mat, eps, first.alpha);
+  // Hardening: the second step at the same strain yields less additional
+  // plastic flow than the first produced from a virgin state.
+  EXPECT_LT(second.alpha - first.alpha, first.alpha);
+}
+
+TEST(MicroSolver, CompressionConverges) {
+  micropp::SubdomainConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 3;
+  cfg.h = 1.0 / 3.0;
+  micropp::Subdomain sub(cfg);
+  EXPECT_GT(sub.assemble(), 0u);
+  const auto sol = sub.solve_compression(-0.01);
+  EXPECT_LT(sol.residual, 1e-8);
+  // The top face moved down; interior nodes follow roughly linearly.
+  const int mid = sub.node_index(1, 1, 1);
+  EXPECT_LT(sol.u[static_cast<std::size_t>(3 * mid + 2)], 0.0);
+  EXPECT_GT(sol.u[static_cast<std::size_t>(3 * mid + 2)], -0.01);
+}
+
+TEST(MicroSolver, StiffnessActionIsSymmetric) {
+  micropp::SubdomainConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 2;
+  cfg.h = 0.5;
+  micropp::Subdomain sub(cfg);
+  sub.assemble();
+  std::vector<double> x(static_cast<std::size_t>(sub.dof_count()), 0.0);
+  std::vector<double> y(static_cast<std::size_t>(sub.dof_count()), 0.0);
+  x[5] = 1.0;
+  y[40] = 1.0;
+  const auto kx = sub.apply(x);
+  const auto ky = sub.apply(y);
+  EXPECT_NEAR(kx[40], ky[5], std::abs(kx[40]) * 1e-9 + 1e-6);
+}
+
+TEST(MicroPPWorkload, HeavyRanksCostMore) {
+  micropp::MicroPPConfig cfg;
+  cfg.appranks = 8;
+  micropp::MicroPPWorkload wl(cfg);
+  const auto loads = wl.expected_rank_loads();
+  EXPECT_GT(loads[0], loads[7] * 2.0);
+  const double imb = metrics::imbalance(loads);
+  EXPECT_GT(imb, 1.5);
+  EXPECT_LT(imb, 8.0);
+}
+
+TEST(MicroPPWorkload, TaskWorkMatchesExpectedLoad) {
+  micropp::MicroPPConfig cfg;
+  cfg.appranks = 4;
+  micropp::MicroPPWorkload wl(cfg);
+  const auto specs = wl.make_tasks(0, 0);
+  double total = 0.0;
+  for (const auto& s : specs) total += s.work;
+  const auto loads = wl.expected_rank_loads();
+  EXPECT_NEAR(total, loads[0], loads[0] * 0.25);  // Newton-count jitter
+}
+
+TEST(MicroPPWorkload, CalibrationUsesRealKernels) {
+  micropp::MicroPPConfig cfg;
+  micropp::MicroPPWorkload wl(cfg);
+  EXPECT_GT(wl.flops_linear_element(), 0u);
+  EXPECT_GT(wl.flops_newton_step(), wl.flops_linear_element());
+}
+
+// ---- n-body ----------------------------------------------------------------------
+
+std::vector<nbody::Body> random_bodies(int n, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<nbody::Body> bodies(static_cast<std::size_t>(n));
+  for (auto& b : bodies) {
+    b.position = {rng.uniform(0, 1), rng.uniform(0, 1), rng.uniform(0, 1)};
+    b.mass = 1.0 / n;
+  }
+  return bodies;
+}
+
+TEST(Octree, ConservesMass) {
+  const auto bodies = random_bodies(256, 3);
+  const nbody::Octree tree(bodies);
+  EXPECT_NEAR(tree.total_mass(), 1.0, 1e-12);
+}
+
+TEST(Octree, MatchesDirectSummationAtSmallTheta) {
+  const auto bodies = random_bodies(128, 4);
+  const nbody::Octree tree(bodies);
+  double worst = 0.0;
+  for (int i = 0; i < 16; ++i) {
+    const auto approx = tree.acceleration(bodies[static_cast<std::size_t>(i)],
+                                          /*theta=*/0.2);
+    const auto exact = nbody::Octree::direct_acceleration(
+        bodies, bodies[static_cast<std::size_t>(i)]);
+    const double err = (approx.acceleration - exact).norm() /
+                       std::max(1e-12, exact.norm());
+    worst = std::max(worst, err);
+  }
+  EXPECT_LT(worst, 0.05);
+}
+
+TEST(Octree, LargerThetaIsCheaper) {
+  const auto bodies = random_bodies(512, 5);
+  const nbody::Octree tree(bodies);
+  const auto tight = tree.acceleration(bodies[0], 0.3);
+  const auto loose = tree.acceleration(bodies[0], 0.9);
+  EXPECT_LT(loose.interactions, tight.interactions);
+  EXPECT_GT(loose.interactions, 0u);
+}
+
+TEST(Octree, InteractionCountBelowDirectSum) {
+  const auto bodies = random_bodies(512, 6);
+  const nbody::Octree tree(bodies);
+  const auto fr = tree.acceleration(bodies[0], 0.5);
+  EXPECT_LT(fr.interactions, 512u);
+}
+
+TEST(Orb, BalancesUniformWeights) {
+  const auto bodies = random_bodies(1000, 7);
+  const std::vector<double> weights(1000, 1.0);
+  const auto assign = nbody::orb_partition(bodies, weights, 8);
+  const auto parts = nbody::part_weights(assign, weights, 8);
+  EXPECT_LT(metrics::imbalance(parts), 1.05);
+}
+
+TEST(Orb, BalancesSkewedWeights) {
+  auto bodies = random_bodies(2000, 8);
+  std::vector<double> weights(2000);
+  sim::Rng rng(9);
+  for (auto& w : weights) w = rng.uniform(0.1, 10.0);
+  const auto assign = nbody::orb_partition(bodies, weights, 16);
+  const auto parts = nbody::part_weights(assign, weights, 16);
+  EXPECT_LT(metrics::imbalance(parts), 1.2);
+}
+
+TEST(Orb, EveryBodyAssignedInRange) {
+  const auto bodies = random_bodies(100, 10);
+  const std::vector<double> weights(100, 1.0);
+  const auto assign = nbody::orb_partition(bodies, weights, 7);
+  for (int part : assign) {
+    EXPECT_GE(part, 0);
+    EXPECT_LT(part, 7);
+  }
+  const auto parts = nbody::part_weights(assign, weights, 7);
+  for (double p : parts) EXPECT_GT(p, 0.0);
+}
+
+TEST(Orb, SinglePartIsIdentity) {
+  const auto bodies = random_bodies(10, 11);
+  const std::vector<double> weights(10, 1.0);
+  const auto assign = nbody::orb_partition(bodies, weights, 1);
+  for (int part : assign) EXPECT_EQ(part, 0);
+}
+
+TEST(NBodyWorkload, OrbKeepsPredictedLoadsBalanced) {
+  nbody::NBodyConfig cfg;
+  cfg.appranks = 8;
+  cfg.bodies = 1024;
+  nbody::NBodyWorkload wl(cfg);
+  const auto loads = wl.rank_loads();
+  EXPECT_LT(metrics::imbalance(loads), 1.25);
+}
+
+TEST(NBodyWorkload, ForcesPrecedeUpdates) {
+  nbody::NBodyConfig cfg;
+  cfg.appranks = 2;
+  cfg.bodies = 256;
+  cfg.blocks_per_rank = 4;
+  nbody::NBodyWorkload wl(cfg);
+  const auto specs = wl.make_tasks(0, 0);
+  ASSERT_EQ(specs.size(), 8u);
+  // All force tasks (offloadable) are created before any update task
+  // (non-offloadable) so forces of one step are mutually parallel.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(specs[i].offloadable) << i;
+    EXPECT_FALSE(specs[i + 4].offloadable) << i;
+  }
+}
+
+TEST(NBodyWorkload, PhysicsAdvancesBetweenIterations) {
+  nbody::NBodyConfig cfg;
+  cfg.appranks = 2;
+  cfg.bodies = 256;
+  nbody::NBodyWorkload wl(cfg);
+  const auto p0 = wl.bodies()[0].position;
+  wl.on_iteration_done(0, {0.0, 0.0});
+  const auto p1 = wl.bodies()[0].position;
+  EXPECT_NE((p1 - p0).norm(), 0.0);
+}
+
+TEST(NBodyWorkload, ClusteredBodiesCostMore) {
+  nbody::NBodyConfig cfg;
+  cfg.appranks = 1;
+  cfg.bodies = 1024;
+  cfg.blocks_per_rank = 8;
+  nbody::NBodyWorkload wl(cfg);
+  // Weights must vary: the dense clump needs more interactions.
+  const auto& w = wl.interaction_weights();
+  const double imb = metrics::imbalance(w);
+  EXPECT_GT(imb, 1.05);
+}
+
+}  // namespace
+}  // namespace tlb::apps

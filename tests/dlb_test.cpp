@@ -1,0 +1,272 @@
+// Unit tests for the DLB modules: core registry, LeWI, DROM, TALP.
+#include <gtest/gtest.h>
+
+#include "dlb/core_registry.hpp"
+#include "dlb/drom.hpp"
+#include "dlb/lewi.hpp"
+#include "dlb/talp.hpp"
+
+namespace tlb::dlb {
+namespace {
+
+TEST(NodeCores, InitialOwnershipAndLease) {
+  NodeCores nc(4, 7);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(nc.owner(c), 7);
+    EXPECT_EQ(nc.lease(c), 7);
+    EXPECT_FALSE(nc.is_running(c));
+  }
+  EXPECT_EQ(nc.owned_count(7), 4);
+  EXPECT_EQ(nc.leased_count(7), 4);
+}
+
+TEST(NodeCores, SetOwnerIdleMovesLease) {
+  NodeCores nc(2, 0);
+  nc.set_owner(0, 1);
+  EXPECT_EQ(nc.owner(0), 1);
+  EXPECT_EQ(nc.lease(0), 1);
+  EXPECT_FALSE(nc.reclaim_pending(0));
+}
+
+TEST(NodeCores, SetOwnerRunningDefersLease) {
+  NodeCores nc(1, 0);
+  nc.task_started(0);
+  nc.set_owner(0, 1);
+  EXPECT_EQ(nc.owner(0), 1);
+  EXPECT_EQ(nc.lease(0), 0);  // still running under the old lease
+  EXPECT_TRUE(nc.reclaim_pending(0));
+  EXPECT_EQ(nc.task_finished(0), 1);  // transfer applies at the boundary
+  EXPECT_EQ(nc.lease(0), 1);
+}
+
+TEST(NodeCores, LendBorrowReclaimIdle) {
+  NodeCores nc(1, 0);
+  nc.lend(0);
+  EXPECT_TRUE(nc.is_in_pool(0));
+  EXPECT_TRUE(nc.try_borrow(0, 2));
+  EXPECT_EQ(nc.lease(0), 2);
+  nc.reclaim(0);  // idle: immediate
+  EXPECT_EQ(nc.lease(0), 0);
+}
+
+TEST(NodeCores, ReclaimRunningBorrowedWaitsForTaskEnd) {
+  NodeCores nc(1, 0);
+  nc.lend(0);
+  ASSERT_TRUE(nc.try_borrow(0, 2));
+  nc.task_started(0);
+  nc.reclaim(0);
+  EXPECT_EQ(nc.lease(0), 2);  // borrower finishes its task
+  EXPECT_TRUE(nc.reclaim_pending(0));
+  EXPECT_EQ(nc.task_finished(0), 0);
+  EXPECT_EQ(nc.lease(0), 0);
+  EXPECT_FALSE(nc.reclaim_pending(0));
+}
+
+TEST(NodeCores, BorrowFailsWhenNotPooled) {
+  NodeCores nc(1, 0);
+  EXPECT_FALSE(nc.try_borrow(0, 2));  // not lent
+  nc.lend(0);
+  ASSERT_TRUE(nc.try_borrow(0, 2));
+  EXPECT_FALSE(nc.try_borrow(0, 3));  // already borrowed
+}
+
+TEST(NodeCores, ReleaseBorrowedReturnsToPool) {
+  NodeCores nc(1, 0);
+  nc.lend(0);
+  ASSERT_TRUE(nc.try_borrow(0, 2));
+  nc.release_borrowed(0);
+  EXPECT_TRUE(nc.is_in_pool(0));
+}
+
+TEST(NodeCores, ReleaseBorrowedHonoursPendingTransfer) {
+  NodeCores nc(1, 0);
+  nc.lend(0);
+  ASSERT_TRUE(nc.try_borrow(0, 2));
+  nc.set_owner(0, 3);  // idle but borrowed: transfer deferred
+  EXPECT_EQ(nc.lease(0), 2);
+  nc.release_borrowed(0);
+  EXPECT_EQ(nc.lease(0), 3);  // pending applied on release
+}
+
+TEST(NodeCores, EveryCoreAlwaysHasExactlyOneOwner) {
+  NodeCores nc(8, 0);
+  nc.set_owner(3, 1);
+  nc.set_owner(5, 2);
+  int total = 0;
+  for (WorkerId w : {0, 1, 2}) total += nc.owned_count(w);
+  EXPECT_EQ(total, 8);
+  nc.check_invariants();
+}
+
+TEST(NodeCores, IdleLeasedAndPooledQueries) {
+  NodeCores nc(4, 0);
+  nc.task_started(1);
+  nc.lend(2);
+  const auto idle = nc.idle_leased_cores(0);
+  EXPECT_EQ(idle.size(), 2u);  // cores 0 and 3
+  EXPECT_EQ(nc.pooled_cores().size(), 1u);
+}
+
+TEST(Lewi, DisabledIsNoOp) {
+  NodeCores nc(2, 0);
+  LewiModule lw(nc, false);
+  EXPECT_EQ(lw.lend_idle(0), 0);
+  EXPECT_TRUE(lw.borrow(1, 5).empty());
+  EXPECT_EQ(lw.reclaim_for(0, 5), 0);
+  EXPECT_EQ(nc.pooled_cores().size(), 0u);
+}
+
+TEST(Lewi, LendIdleMovesOwnedCoresToPool) {
+  NodeCores nc(3, 0);
+  nc.task_started(0);
+  LewiModule lw(nc, true);
+  EXPECT_EQ(lw.lend_idle(0), 2);
+  EXPECT_EQ(nc.pooled_cores().size(), 2u);
+  EXPECT_EQ(lw.lends(), 2u);
+}
+
+TEST(Lewi, BorrowTakesUpToLimit) {
+  NodeCores nc(4, 0);
+  LewiModule lw(nc, true);
+  lw.lend_idle(0);
+  const auto got = lw.borrow(1, 3);
+  EXPECT_EQ(got.size(), 3u);
+  EXPECT_EQ(nc.leased_count(1), 3);
+  EXPECT_EQ(lw.borrows(), 3u);
+}
+
+TEST(Lewi, BorrowSkipsOwnCores) {
+  NodeCores nc(2, 0);
+  LewiModule lw(nc, true);
+  lw.lend_idle(0);
+  // Worker 0 should reclaim, not borrow, its own pooled cores.
+  EXPECT_TRUE(lw.borrow(0, 2).empty());
+  EXPECT_EQ(lw.reclaim_for(0, 2), 2);
+  EXPECT_EQ(nc.leased_count(0), 2);
+}
+
+TEST(Lewi, ReclaimOnlyIssuesNeeded) {
+  NodeCores nc(4, 0);
+  LewiModule lw(nc, true);
+  lw.lend_idle(0);
+  EXPECT_EQ(lw.reclaim_for(0, 2), 2);
+  EXPECT_EQ(nc.leased_count(0), 2);
+  EXPECT_EQ(nc.pooled_cores().size(), 2u);
+}
+
+TEST(Lewi, LendIdleReleasesBorrowedCores) {
+  NodeCores nc(2, 0);
+  LewiModule lw(nc, true);
+  lw.lend_idle(0);
+  ASSERT_EQ(lw.borrow(1, 2).size(), 2u);
+  EXPECT_EQ(lw.lend_idle(1), 2);  // releases them back to the pool
+  EXPECT_EQ(nc.pooled_cores().size(), 2u);
+}
+
+TEST(Drom, DisabledIsNoOp) {
+  NodeCores nc(4, 0);
+  DromModule dm(nc, false);
+  EXPECT_EQ(dm.apply({{0, 1}, {1, 3}}), 0);
+  EXPECT_EQ(nc.owned_count(0), 4);
+}
+
+TEST(Drom, AppliesTargetCounts) {
+  NodeCores nc(8, 0);
+  DromModule dm(nc, true);
+  const int moved = dm.apply({{0, 5}, {1, 2}, {2, 1}});
+  EXPECT_EQ(moved, 3);
+  EXPECT_EQ(nc.owned_count(0), 5);
+  EXPECT_EQ(nc.owned_count(1), 2);
+  EXPECT_EQ(nc.owned_count(2), 1);
+  nc.check_invariants();
+}
+
+TEST(Drom, MinimalMovesWhenAlreadyBalanced) {
+  NodeCores nc(4, 0);
+  DromModule dm(nc, true);
+  dm.apply({{0, 2}, {1, 2}});
+  EXPECT_EQ(dm.apply({{0, 2}, {1, 2}}), 0);  // no change needed
+}
+
+TEST(Drom, PrefersIdleDonorCores) {
+  NodeCores nc(3, 0);
+  nc.task_started(0);  // core 0 busy
+  DromModule dm(nc, true);
+  dm.apply({{0, 1}, {1, 2}});
+  // The running core 0 should stay with worker 0; cores 1 and 2 moved.
+  EXPECT_EQ(nc.owner(0), 0);
+  EXPECT_EQ(nc.owner(1), 1);
+  EXPECT_EQ(nc.owner(2), 1);
+}
+
+TEST(Drom, MovesRunningCoreWhenUnavoidable) {
+  NodeCores nc(2, 0);
+  nc.task_started(0);
+  nc.task_started(1);
+  DromModule dm(nc, true);
+  dm.apply({{0, 1}, {1, 1}});
+  EXPECT_EQ(nc.owned_count(1), 1);
+  // Lease transfers only at the task boundary.
+  const int moved_core = nc.owner(0) == 1 ? 0 : 1;
+  EXPECT_TRUE(nc.reclaim_pending(moved_core));
+}
+
+TEST(Talp, AccumulatesBusyTime) {
+  double now = 0.0;
+  TalpModule talp([&] { return now; }, 2);
+  talp.on_busy_delta(0, +1);
+  now = 2.0;
+  talp.on_busy_delta(0, +1);
+  now = 3.0;
+  talp.on_busy_delta(0, -2);
+  EXPECT_DOUBLE_EQ(talp.busy_core_seconds(0), 2.0 * 1 + 1.0 * 2);
+  EXPECT_DOUBLE_EQ(talp.busy_core_seconds(1), 0.0);
+}
+
+TEST(Talp, WindowAverage) {
+  double now = 0.0;
+  TalpModule talp([&] { return now; }, 1);
+  talp.on_busy_delta(0, +1);
+  now = 1.0;
+  EXPECT_DOUBLE_EQ(talp.window_average(0), 1.0);
+  talp.reset_window();
+  now = 2.0;
+  talp.on_busy_delta(0, +1);  // two busy from t=2
+  now = 4.0;
+  // Window [1, 4): busy 1 for 1s then 2 for 2s => 5/3.
+  EXPECT_NEAR(talp.window_average(0), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Talp, ResetWindowClearsOnlyWindow) {
+  double now = 0.0;
+  TalpModule talp([&] { return now; }, 1);
+  talp.on_busy_delta(0, +1);
+  now = 5.0;
+  talp.reset_window();
+  EXPECT_DOUBLE_EQ(talp.busy_core_seconds(0), 5.0);
+  now = 6.0;
+  EXPECT_DOUBLE_EQ(talp.window_average(0), 1.0);
+}
+
+TEST(Talp, EfficiencyAgainstAssignedCores) {
+  double now = 0.0;
+  TalpModule talp([&] { return now; }, 1);
+  talp.on_busy_delta(0, +1);
+  now = 10.0;
+  // 10 busy core-seconds over 10 s with 2 cores assigned -> 0.5.
+  EXPECT_DOUBLE_EQ(talp.efficiency(0, 2.0), 0.5);
+}
+
+TEST(Talp, CurrentBusyTracksDeltas) {
+  double now = 0.0;
+  TalpModule talp([&] { return now; }, 1);
+  EXPECT_EQ(talp.current_busy(0), 0);
+  talp.on_busy_delta(0, +1);
+  talp.on_busy_delta(0, +1);
+  EXPECT_EQ(talp.current_busy(0), 2);
+  talp.on_busy_delta(0, -1);
+  EXPECT_EQ(talp.current_busy(0), 1);
+}
+
+}  // namespace
+}  // namespace tlb::dlb

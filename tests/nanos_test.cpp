@@ -1,0 +1,245 @@
+// Unit tests for the task runtime substrate: dependency graph and data
+// location tracking.
+#include <gtest/gtest.h>
+
+#include "nanos/data_location.hpp"
+#include "nanos/dependency_graph.hpp"
+#include "nanos/task.hpp"
+
+namespace tlb::nanos {
+namespace {
+
+AccessRegion in(std::uint64_t start, std::uint64_t size) {
+  return {start, size, AccessMode::In};
+}
+AccessRegion out(std::uint64_t start, std::uint64_t size) {
+  return {start, size, AccessMode::Out};
+}
+AccessRegion inout(std::uint64_t start, std::uint64_t size) {
+  return {start, size, AccessMode::InOut};
+}
+
+struct DepFixture {
+  TaskPool pool;
+  DependencyGraph graph{pool};
+
+  TaskId add(std::vector<AccessRegion> accesses, bool* ready = nullptr) {
+    const TaskId id = pool.create(0, 1.0, std::move(accesses));
+    const bool r = graph.register_task(id);
+    if (ready != nullptr) *ready = r;
+    return id;
+  }
+};
+
+TEST(DependencyGraph, IndependentTasksAreReady) {
+  DepFixture f;
+  bool r1 = false;
+  bool r2 = false;
+  f.add({out(0, 10)}, &r1);
+  f.add({out(100, 10)}, &r2);
+  EXPECT_TRUE(r1);
+  EXPECT_TRUE(r2);
+  EXPECT_EQ(f.graph.edge_count(), 0u);
+}
+
+TEST(DependencyGraph, ReadAfterWrite) {
+  DepFixture f;
+  const TaskId w = f.add({out(0, 10)});
+  bool ready = true;
+  const TaskId r = f.add({in(0, 10)}, &ready);
+  EXPECT_FALSE(ready);
+  const auto now_ready = f.graph.on_task_finished(w);
+  ASSERT_EQ(now_ready.size(), 1u);
+  EXPECT_EQ(now_ready[0], r);
+}
+
+TEST(DependencyGraph, WriteAfterWrite) {
+  DepFixture f;
+  const TaskId w1 = f.add({out(0, 10)});
+  bool ready = true;
+  f.add({out(0, 10)}, &ready);
+  EXPECT_FALSE(ready);
+  EXPECT_EQ(f.graph.on_task_finished(w1).size(), 1u);
+}
+
+TEST(DependencyGraph, WriteAfterRead) {
+  DepFixture f;
+  const TaskId w = f.add({out(0, 10)});
+  f.graph.on_task_finished(w);
+  bool r_ready = false;
+  const TaskId r = f.add({in(0, 10)}, &r_ready);
+  EXPECT_TRUE(r_ready);  // writer already finished
+  bool w2_ready = true;
+  f.add({out(0, 10)}, &w2_ready);
+  EXPECT_FALSE(w2_ready);  // WAR on the live reader
+  EXPECT_EQ(f.graph.on_task_finished(r).size(), 1u);
+}
+
+TEST(DependencyGraph, ConcurrentReadersShareReadiness) {
+  DepFixture f;
+  const TaskId w = f.add({out(0, 10)});
+  bool ra = true;
+  bool rb = true;
+  f.add({in(0, 10)}, &ra);
+  f.add({in(0, 10)}, &rb);
+  EXPECT_FALSE(ra);
+  EXPECT_FALSE(rb);
+  EXPECT_EQ(f.graph.on_task_finished(w).size(), 2u);  // both release
+}
+
+TEST(DependencyGraph, WriterWaitsForAllReaders) {
+  DepFixture f;
+  const TaskId w = f.add({out(0, 10)});
+  f.graph.on_task_finished(w);
+  const TaskId r1 = f.add({in(0, 10)});
+  const TaskId r2 = f.add({in(0, 10)});
+  bool w2_ready = true;
+  f.add({out(0, 10)}, &w2_ready);
+  EXPECT_FALSE(w2_ready);
+  EXPECT_TRUE(f.graph.on_task_finished(r1).empty());
+  EXPECT_EQ(f.graph.on_task_finished(r2).size(), 1u);
+}
+
+TEST(DependencyGraph, PartialOverlapCreatesDependency) {
+  DepFixture f;
+  const TaskId w = f.add({out(0, 10)});
+  bool ready = true;
+  f.add({in(5, 10)}, &ready);  // overlaps bytes 5..9
+  EXPECT_FALSE(ready);
+  EXPECT_EQ(f.graph.on_task_finished(w).size(), 1u);
+}
+
+TEST(DependencyGraph, DisjointRegionsCommute) {
+  DepFixture f;
+  f.add({out(0, 10)});
+  bool ready = false;
+  f.add({out(10, 10)}, &ready);  // adjacent, not overlapping
+  EXPECT_TRUE(ready);
+}
+
+TEST(DependencyGraph, InOutActsAsReadAndWrite) {
+  DepFixture f;
+  const TaskId a = f.add({inout(0, 10)});
+  bool b_ready = true;
+  const TaskId b = f.add({inout(0, 10)}, &b_ready);
+  EXPECT_FALSE(b_ready);
+  bool c_ready = true;
+  f.add({inout(0, 10)}, &c_ready);
+  EXPECT_FALSE(c_ready);
+  EXPECT_EQ(f.graph.on_task_finished(a).size(), 1u);
+  EXPECT_EQ(f.graph.on_task_finished(b).size(), 1u);
+}
+
+TEST(DependencyGraph, ChainReleasesInOrder) {
+  DepFixture f;
+  std::vector<TaskId> chain;
+  for (int i = 0; i < 5; ++i) chain.push_back(f.add({inout(0, 8)}));
+  for (int i = 0; i + 1 < 5; ++i) {
+    const auto ready = f.graph.on_task_finished(chain[static_cast<std::size_t>(i)]);
+    ASSERT_EQ(ready.size(), 1u);
+    EXPECT_EQ(ready[0], chain[static_cast<std::size_t>(i) + 1]);
+  }
+}
+
+TEST(DependencyGraph, MultiRegionTaskDedupesPredecessors) {
+  DepFixture f;
+  const TaskId w = f.add({out(0, 10), out(20, 10)});
+  bool ready = true;
+  const TaskId r = f.add({in(0, 5), in(25, 5)}, &ready);
+  EXPECT_FALSE(ready);
+  EXPECT_EQ(f.pool.get(r).deps_remaining, 1);
+  EXPECT_EQ(f.graph.on_task_finished(w).size(), 1u);
+}
+
+TEST(DependencyGraph, LiveTaskCountTracksLifecycle) {
+  DepFixture f;
+  const TaskId a = f.add({out(0, 4)});
+  const TaskId b = f.add({in(0, 4)});
+  EXPECT_EQ(f.graph.live_tasks(), 2u);
+  f.graph.on_task_finished(a);
+  EXPECT_EQ(f.graph.live_tasks(), 1u);
+  f.graph.on_task_finished(b);
+  EXPECT_EQ(f.graph.live_tasks(), 0u);
+}
+
+TEST(DependencyGraph, ZeroSizeRegionIsIgnored) {
+  DepFixture f;
+  f.add({out(0, 10)});
+  bool ready = false;
+  f.add({in(0, 0)}, &ready);
+  EXPECT_TRUE(ready);
+}
+
+TEST(DependencyGraph, ManyDisjointWritersScale) {
+  DepFixture f;
+  for (int i = 0; i < 1000; ++i) {
+    bool ready = false;
+    f.add({out(static_cast<std::uint64_t>(i) * 64, 64)}, &ready);
+    ASSERT_TRUE(ready);
+  }
+  EXPECT_EQ(f.graph.edge_count(), 0u);
+}
+
+TEST(DataLocations, DefaultsToHome) {
+  DataLocations loc(3);
+  EXPECT_EQ(loc.location_of(0), 3);
+  EXPECT_EQ(loc.missing_input_bytes({in(0, 100)}, 3), 0u);
+  EXPECT_EQ(loc.missing_input_bytes({in(0, 100)}, 5), 100u);
+}
+
+TEST(DataLocations, TaskExecutionMovesOutputs) {
+  DataLocations loc(0);
+  loc.task_executed({out(0, 100)}, 2);
+  EXPECT_EQ(loc.location_of(50), 2);
+  EXPECT_EQ(loc.missing_input_bytes({in(0, 100)}, 2), 0u);
+  EXPECT_EQ(loc.missing_input_bytes({in(0, 100)}, 0), 100u);
+}
+
+TEST(DataLocations, PureInputsDoNotRelocate) {
+  DataLocations loc(0);
+  loc.task_executed({in(0, 100)}, 2);
+  EXPECT_EQ(loc.location_of(50), 0);
+}
+
+TEST(DataLocations, PartialOverwrite) {
+  DataLocations loc(0);
+  loc.task_executed({out(0, 100)}, 1);
+  loc.task_executed({out(25, 50)}, 2);
+  EXPECT_EQ(loc.location_of(0), 1);
+  EXPECT_EQ(loc.location_of(30), 2);
+  EXPECT_EQ(loc.location_of(80), 1);
+  EXPECT_EQ(loc.missing_input_bytes({in(0, 100)}, 1), 50u);
+}
+
+TEST(DataLocations, PullMovesAndPrices) {
+  DataLocations loc(0);
+  loc.task_executed({out(0, 100)}, 2);
+  EXPECT_EQ(loc.pull({in(0, 100)}, 0), 100u);
+  EXPECT_EQ(loc.location_of(10), 0);
+  EXPECT_EQ(loc.pull({in(0, 100)}, 0), 0u);  // already home
+}
+
+TEST(DataLocations, ResidentBytesComplementMissing) {
+  DataLocations loc(0);
+  loc.task_executed({out(0, 60)}, 1);
+  const std::vector<AccessRegion> acc = {in(0, 100)};
+  EXPECT_EQ(loc.resident_input_bytes(acc, 1), 60u);
+  EXPECT_EQ(loc.missing_input_bytes(acc, 1), 40u);
+  EXPECT_EQ(loc.resident_input_bytes(acc, 0), 40u);
+}
+
+TEST(DataLocations, OutputRegionsIgnoredForTransferCost) {
+  DataLocations loc(0);
+  EXPECT_EQ(loc.missing_input_bytes({out(0, 100)}, 5), 0u);
+}
+
+TEST(DataLocations, ScatteredSegmentsAccumulate) {
+  DataLocations loc(0);
+  loc.task_executed({out(0, 10)}, 1);
+  loc.task_executed({out(20, 10)}, 2);
+  loc.task_executed({out(40, 10)}, 1);
+  EXPECT_EQ(loc.missing_input_bytes({in(0, 50)}, 1), 20u + 10u);
+}
+
+}  // namespace
+}  // namespace tlb::nanos

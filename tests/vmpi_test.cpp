@@ -1,0 +1,176 @@
+// Unit tests for the virtual MPI layer.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "vmpi/comm.hpp"
+
+namespace tlb::vmpi {
+namespace {
+
+struct Fixture {
+  sim::Engine engine;
+  sim::LinkSpec link{2e-6, 12.5e9};
+
+  Communicator make(std::vector<int> placement) {
+    return Communicator(engine, link, std::move(placement));
+  }
+};
+
+TEST(Vmpi, SendThenRecvDelivers) {
+  Fixture f;
+  auto comm = f.make({0, 1});
+  bool got = false;
+  comm.recv(1, 0, 7, [&](const Message& m) {
+    got = true;
+    EXPECT_EQ(m.source, 0);
+    EXPECT_EQ(m.tag, 7);
+    EXPECT_EQ(m.bytes, 100u);
+  });
+  comm.send(0, 1, 7, 100);
+  f.engine.run();
+  EXPECT_TRUE(got);
+}
+
+TEST(Vmpi, RecvBeforeSendMatches) {
+  Fixture f;
+  auto comm = f.make({0, 1});
+  int got = 0;
+  comm.send(0, 1, 7, 10);
+  f.engine.run();  // message sits in the unexpected queue
+  comm.recv(1, 0, 7, [&](const Message&) { ++got; });
+  EXPECT_EQ(got, 1);
+}
+
+TEST(Vmpi, WildcardSourceAndTag) {
+  Fixture f;
+  auto comm = f.make({0, 0, 0});
+  int got = 0;
+  comm.recv(2, kAnySource, kAnyTag, [&](const Message& m) {
+    ++got;
+    EXPECT_EQ(m.source, 1);
+  });
+  comm.send(1, 2, 42, 8);
+  f.engine.run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST(Vmpi, TagFiltersMessages) {
+  Fixture f;
+  auto comm = f.make({0, 1});
+  std::vector<int> tags;
+  comm.recv(1, 0, 2, [&](const Message& m) { tags.push_back(m.tag); });
+  comm.send(0, 1, 1, 8);
+  comm.send(0, 1, 2, 8);
+  f.engine.run();
+  ASSERT_EQ(tags.size(), 1u);
+  EXPECT_EQ(tags[0], 2);
+  // The tag-1 message is still retrievable.
+  int got = 0;
+  comm.recv(1, 0, 1, [&](const Message&) { ++got; });
+  EXPECT_EQ(got, 1);
+}
+
+TEST(Vmpi, InterNodeTransferCost) {
+  Fixture f;
+  auto comm = f.make({0, 1});
+  const std::uint64_t bytes = 125000;  // 10 us at 12.5 GB/s
+  sim::SimTime delivered = -1.0;
+  comm.recv(1, 0, 0, [&](const Message& m) { delivered = m.delivered_at; });
+  comm.send(0, 1, 0, bytes);
+  f.engine.run();
+  EXPECT_NEAR(delivered, 2e-6 + 1e-5, 1e-12);
+}
+
+TEST(Vmpi, IntraNodeIsCheaperThanNetwork) {
+  Fixture f;
+  auto comm = f.make({0, 0, 1});
+  EXPECT_LT(comm.transfer_cost(0, 1, 1 << 20),
+            comm.transfer_cost(0, 2, 1 << 20));
+}
+
+TEST(Vmpi, ChannelFifoNoOvertaking) {
+  Fixture f;
+  auto comm = f.make({0, 1});
+  std::vector<int> order;
+  comm.recv(1, 0, kAnyTag, [&](const Message& m) { order.push_back(m.tag); });
+  comm.recv(1, 0, kAnyTag, [&](const Message& m) { order.push_back(m.tag); });
+  comm.send(0, 1, 1, 10'000'000);  // big: slow
+  comm.send(0, 1, 2, 8);           // small: would overtake without FIFO
+  f.engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Vmpi, SenderCompletionCallback) {
+  Fixture f;
+  auto comm = f.make({0, 1});
+  bool sent = false;
+  comm.send(0, 1, 0, 8, [&](const Message&) { sent = true; });
+  f.engine.run();
+  EXPECT_TRUE(sent);
+}
+
+TEST(Vmpi, BarrierReleasesAllTogether) {
+  Fixture f;
+  auto comm = f.make({0, 1, 2, 3});
+  std::vector<sim::SimTime> times(4, -1.0);
+  for (int r = 0; r < 4; ++r) {
+    f.engine.at(0.1 * r, [&, r] {
+      comm.barrier(r, [&, r] { times[static_cast<std::size_t>(r)] = f.engine.now(); });
+    });
+  }
+  f.engine.run();
+  for (int r = 1; r < 4; ++r) EXPECT_DOUBLE_EQ(times[0], times[static_cast<std::size_t>(r)]);
+  // Last arrival at 0.3 plus log2(4)=2 latencies.
+  EXPECT_NEAR(times[0], 0.3 + 2 * f.link.latency, 1e-12);
+}
+
+TEST(Vmpi, BarrierReusableAcrossGenerations) {
+  Fixture f;
+  auto comm = f.make({0, 1});
+  int done = 0;
+  comm.barrier(0, [&] { ++done; });
+  comm.barrier(1, [&] { ++done; });
+  f.engine.run();
+  EXPECT_EQ(done, 2);
+  comm.barrier(0, [&] { ++done; });
+  comm.barrier(1, [&] { ++done; });
+  f.engine.run();
+  EXPECT_EQ(done, 4);
+}
+
+TEST(Vmpi, AllreduceSumsContributions) {
+  Fixture f;
+  auto comm = f.make({0, 1, 2});
+  std::vector<double> sums;
+  for (int r = 0; r < 3; ++r) {
+    comm.allreduce_sum(r, r + 1.0, [&](double s) { sums.push_back(s); });
+  }
+  f.engine.run();
+  ASSERT_EQ(sums.size(), 3u);
+  for (double s : sums) EXPECT_DOUBLE_EQ(s, 6.0);
+}
+
+TEST(Vmpi, MessageCountersAccumulate) {
+  Fixture f;
+  auto comm = f.make({0, 1});
+  comm.send(0, 1, 0, 100);
+  comm.send(1, 0, 0, 200);
+  f.engine.run();
+  EXPECT_EQ(comm.messages_sent(), 2u);
+  EXPECT_EQ(comm.bytes_sent(), 300u);
+}
+
+TEST(Vmpi, SingleRankBarrierIsImmediatelyReleased) {
+  Fixture f;
+  auto comm = f.make({0});
+  bool done = false;
+  comm.barrier(0, [&] { done = true; });
+  f.engine.run();
+  EXPECT_TRUE(done);
+  EXPECT_DOUBLE_EQ(f.engine.now(), 0.0);  // log2(1) = 0 rounds
+}
+
+}  // namespace
+}  // namespace tlb::vmpi
