@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig05_coarse_policies.cpp" "bench/CMakeFiles/fig05_coarse_policies.dir/fig05_coarse_policies.cpp.o" "gcc" "bench/CMakeFiles/fig05_coarse_policies.dir/fig05_coarse_policies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tlb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/tlb_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/tlb_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmpi/CMakeFiles/tlb_vmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/tlb_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tlb_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/dlb/CMakeFiles/tlb_dlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/nanos/CMakeFiles/tlb_nanos.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/tlb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tlb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

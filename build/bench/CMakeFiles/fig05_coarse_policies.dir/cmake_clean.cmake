@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_coarse_policies.dir/fig05_coarse_policies.cpp.o"
+  "CMakeFiles/fig05_coarse_policies.dir/fig05_coarse_policies.cpp.o.d"
+  "fig05_coarse_policies"
+  "fig05_coarse_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_coarse_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

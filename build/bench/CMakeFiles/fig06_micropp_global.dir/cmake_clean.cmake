@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_micropp_global.dir/fig06_micropp_global.cpp.o"
+  "CMakeFiles/fig06_micropp_global.dir/fig06_micropp_global.cpp.o.d"
+  "fig06_micropp_global"
+  "fig06_micropp_global.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_micropp_global.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06c_nbody_slow.dir/fig06c_nbody_slow.cpp.o"
+  "CMakeFiles/fig06c_nbody_slow.dir/fig06c_nbody_slow.cpp.o.d"
+  "fig06c_nbody_slow"
+  "fig06c_nbody_slow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06c_nbody_slow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig06c_nbody_slow.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_local_policy.dir/fig07_local_policy.cpp.o"
+  "CMakeFiles/fig07_local_policy.dir/fig07_local_policy.cpp.o.d"
+  "fig07_local_policy"
+  "fig07_local_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_local_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

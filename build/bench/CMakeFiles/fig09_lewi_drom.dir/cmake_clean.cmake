@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_lewi_drom.dir/fig09_lewi_drom.cpp.o"
+  "CMakeFiles/fig09_lewi_drom.dir/fig09_lewi_drom.cpp.o.d"
+  "fig09_lewi_drom"
+  "fig09_lewi_drom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_lewi_drom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_slow_node.dir/fig10_slow_node.cpp.o"
+  "CMakeFiles/fig10_slow_node.dir/fig10_slow_node.cpp.o.d"
+  "fig10_slow_node"
+  "fig10_slow_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_slow_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

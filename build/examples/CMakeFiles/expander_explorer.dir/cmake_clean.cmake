@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expander_explorer.dir/expander_explorer.cpp.o"
+  "CMakeFiles/expander_explorer.dir/expander_explorer.cpp.o.d"
+  "expander_explorer"
+  "expander_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expander_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micropp_compression.dir/micropp_compression.cpp.o"
+  "CMakeFiles/micropp_compression.dir/micropp_compression.cpp.o.d"
+  "micropp_compression"
+  "micropp_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micropp_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

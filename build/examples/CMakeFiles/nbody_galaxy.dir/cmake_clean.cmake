@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbody_galaxy.dir/nbody_galaxy.cpp.o"
+  "CMakeFiles/nbody_galaxy.dir/nbody_galaxy.cpp.o.d"
+  "nbody_galaxy"
+  "nbody_galaxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbody_galaxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlb_apps.dir/micropp/hex8.cpp.o"
+  "CMakeFiles/tlb_apps.dir/micropp/hex8.cpp.o.d"
+  "CMakeFiles/tlb_apps.dir/micropp/material.cpp.o"
+  "CMakeFiles/tlb_apps.dir/micropp/material.cpp.o.d"
+  "CMakeFiles/tlb_apps.dir/micropp/micro_solver.cpp.o"
+  "CMakeFiles/tlb_apps.dir/micropp/micro_solver.cpp.o.d"
+  "CMakeFiles/tlb_apps.dir/micropp/workload.cpp.o"
+  "CMakeFiles/tlb_apps.dir/micropp/workload.cpp.o.d"
+  "CMakeFiles/tlb_apps.dir/nbody/octree.cpp.o"
+  "CMakeFiles/tlb_apps.dir/nbody/octree.cpp.o.d"
+  "CMakeFiles/tlb_apps.dir/nbody/orb.cpp.o"
+  "CMakeFiles/tlb_apps.dir/nbody/orb.cpp.o.d"
+  "CMakeFiles/tlb_apps.dir/nbody/workload.cpp.o"
+  "CMakeFiles/tlb_apps.dir/nbody/workload.cpp.o.d"
+  "CMakeFiles/tlb_apps.dir/synthetic.cpp.o"
+  "CMakeFiles/tlb_apps.dir/synthetic.cpp.o.d"
+  "libtlb_apps.a"
+  "libtlb_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlb_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

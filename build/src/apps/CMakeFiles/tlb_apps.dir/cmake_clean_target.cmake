@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtlb_apps.a"
+)

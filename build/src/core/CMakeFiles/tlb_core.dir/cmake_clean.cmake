@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlb_core.dir/policies.cpp.o"
+  "CMakeFiles/tlb_core.dir/policies.cpp.o.d"
+  "CMakeFiles/tlb_core.dir/runtime.cpp.o"
+  "CMakeFiles/tlb_core.dir/runtime.cpp.o.d"
+  "CMakeFiles/tlb_core.dir/topology.cpp.o"
+  "CMakeFiles/tlb_core.dir/topology.cpp.o.d"
+  "libtlb_core.a"
+  "libtlb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

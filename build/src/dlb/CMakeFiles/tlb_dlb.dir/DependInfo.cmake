@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dlb/core_registry.cpp" "src/dlb/CMakeFiles/tlb_dlb.dir/core_registry.cpp.o" "gcc" "src/dlb/CMakeFiles/tlb_dlb.dir/core_registry.cpp.o.d"
+  "/root/repo/src/dlb/drom.cpp" "src/dlb/CMakeFiles/tlb_dlb.dir/drom.cpp.o" "gcc" "src/dlb/CMakeFiles/tlb_dlb.dir/drom.cpp.o.d"
+  "/root/repo/src/dlb/lewi.cpp" "src/dlb/CMakeFiles/tlb_dlb.dir/lewi.cpp.o" "gcc" "src/dlb/CMakeFiles/tlb_dlb.dir/lewi.cpp.o.d"
+  "/root/repo/src/dlb/report.cpp" "src/dlb/CMakeFiles/tlb_dlb.dir/report.cpp.o" "gcc" "src/dlb/CMakeFiles/tlb_dlb.dir/report.cpp.o.d"
+  "/root/repo/src/dlb/talp.cpp" "src/dlb/CMakeFiles/tlb_dlb.dir/talp.cpp.o" "gcc" "src/dlb/CMakeFiles/tlb_dlb.dir/talp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tlb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

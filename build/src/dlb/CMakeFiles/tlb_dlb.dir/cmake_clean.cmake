@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlb_dlb.dir/core_registry.cpp.o"
+  "CMakeFiles/tlb_dlb.dir/core_registry.cpp.o.d"
+  "CMakeFiles/tlb_dlb.dir/drom.cpp.o"
+  "CMakeFiles/tlb_dlb.dir/drom.cpp.o.d"
+  "CMakeFiles/tlb_dlb.dir/lewi.cpp.o"
+  "CMakeFiles/tlb_dlb.dir/lewi.cpp.o.d"
+  "CMakeFiles/tlb_dlb.dir/report.cpp.o"
+  "CMakeFiles/tlb_dlb.dir/report.cpp.o.d"
+  "CMakeFiles/tlb_dlb.dir/talp.cpp.o"
+  "CMakeFiles/tlb_dlb.dir/talp.cpp.o.d"
+  "libtlb_dlb.a"
+  "libtlb_dlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlb_dlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/bipartite_graph.cpp" "src/graph/CMakeFiles/tlb_graph.dir/bipartite_graph.cpp.o" "gcc" "src/graph/CMakeFiles/tlb_graph.dir/bipartite_graph.cpp.o.d"
+  "/root/repo/src/graph/expander.cpp" "src/graph/CMakeFiles/tlb_graph.dir/expander.cpp.o" "gcc" "src/graph/CMakeFiles/tlb_graph.dir/expander.cpp.o.d"
+  "/root/repo/src/graph/graph_cache.cpp" "src/graph/CMakeFiles/tlb_graph.dir/graph_cache.cpp.o" "gcc" "src/graph/CMakeFiles/tlb_graph.dir/graph_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tlb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlb_graph.dir/bipartite_graph.cpp.o"
+  "CMakeFiles/tlb_graph.dir/bipartite_graph.cpp.o.d"
+  "CMakeFiles/tlb_graph.dir/expander.cpp.o"
+  "CMakeFiles/tlb_graph.dir/expander.cpp.o.d"
+  "CMakeFiles/tlb_graph.dir/graph_cache.cpp.o"
+  "CMakeFiles/tlb_graph.dir/graph_cache.cpp.o.d"
+  "libtlb_graph.a"
+  "libtlb_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlb_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlb_metrics.dir/imbalance.cpp.o"
+  "CMakeFiles/tlb_metrics.dir/imbalance.cpp.o.d"
+  "libtlb_metrics.a"
+  "libtlb_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlb_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nanos/data_location.cpp" "src/nanos/CMakeFiles/tlb_nanos.dir/data_location.cpp.o" "gcc" "src/nanos/CMakeFiles/tlb_nanos.dir/data_location.cpp.o.d"
+  "/root/repo/src/nanos/dependency_graph.cpp" "src/nanos/CMakeFiles/tlb_nanos.dir/dependency_graph.cpp.o" "gcc" "src/nanos/CMakeFiles/tlb_nanos.dir/dependency_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tlb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlb_nanos.dir/data_location.cpp.o"
+  "CMakeFiles/tlb_nanos.dir/data_location.cpp.o.d"
+  "CMakeFiles/tlb_nanos.dir/dependency_graph.cpp.o"
+  "CMakeFiles/tlb_nanos.dir/dependency_graph.cpp.o.d"
+  "libtlb_nanos.a"
+  "libtlb_nanos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlb_nanos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlb_sim.dir/engine.cpp.o"
+  "CMakeFiles/tlb_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/tlb_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/tlb_sim.dir/event_queue.cpp.o.d"
+  "libtlb_sim.a"
+  "libtlb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/allocation.cpp" "src/solver/CMakeFiles/tlb_solver.dir/allocation.cpp.o" "gcc" "src/solver/CMakeFiles/tlb_solver.dir/allocation.cpp.o.d"
+  "/root/repo/src/solver/maxflow.cpp" "src/solver/CMakeFiles/tlb_solver.dir/maxflow.cpp.o" "gcc" "src/solver/CMakeFiles/tlb_solver.dir/maxflow.cpp.o.d"
+  "/root/repo/src/solver/mincost_flow.cpp" "src/solver/CMakeFiles/tlb_solver.dir/mincost_flow.cpp.o" "gcc" "src/solver/CMakeFiles/tlb_solver.dir/mincost_flow.cpp.o.d"
+  "/root/repo/src/solver/partitioned.cpp" "src/solver/CMakeFiles/tlb_solver.dir/partitioned.cpp.o" "gcc" "src/solver/CMakeFiles/tlb_solver.dir/partitioned.cpp.o.d"
+  "/root/repo/src/solver/simplex.cpp" "src/solver/CMakeFiles/tlb_solver.dir/simplex.cpp.o" "gcc" "src/solver/CMakeFiles/tlb_solver.dir/simplex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/tlb_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tlb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlb_solver.dir/allocation.cpp.o"
+  "CMakeFiles/tlb_solver.dir/allocation.cpp.o.d"
+  "CMakeFiles/tlb_solver.dir/maxflow.cpp.o"
+  "CMakeFiles/tlb_solver.dir/maxflow.cpp.o.d"
+  "CMakeFiles/tlb_solver.dir/mincost_flow.cpp.o"
+  "CMakeFiles/tlb_solver.dir/mincost_flow.cpp.o.d"
+  "CMakeFiles/tlb_solver.dir/partitioned.cpp.o"
+  "CMakeFiles/tlb_solver.dir/partitioned.cpp.o.d"
+  "CMakeFiles/tlb_solver.dir/simplex.cpp.o"
+  "CMakeFiles/tlb_solver.dir/simplex.cpp.o.d"
+  "libtlb_solver.a"
+  "libtlb_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlb_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlb_trace.dir/paraver.cpp.o"
+  "CMakeFiles/tlb_trace.dir/paraver.cpp.o.d"
+  "CMakeFiles/tlb_trace.dir/recorder.cpp.o"
+  "CMakeFiles/tlb_trace.dir/recorder.cpp.o.d"
+  "CMakeFiles/tlb_trace.dir/step_series.cpp.o"
+  "CMakeFiles/tlb_trace.dir/step_series.cpp.o.d"
+  "libtlb_trace.a"
+  "libtlb_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlb_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

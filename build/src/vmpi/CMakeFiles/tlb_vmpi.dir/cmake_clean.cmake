@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlb_vmpi.dir/comm.cpp.o"
+  "CMakeFiles/tlb_vmpi.dir/comm.cpp.o.d"
+  "libtlb_vmpi.a"
+  "libtlb_vmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlb_vmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

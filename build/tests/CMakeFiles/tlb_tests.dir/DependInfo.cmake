@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps_test.cpp" "tests/CMakeFiles/tlb_tests.dir/apps_test.cpp.o" "gcc" "tests/CMakeFiles/tlb_tests.dir/apps_test.cpp.o.d"
+  "/root/repo/tests/dlb_test.cpp" "tests/CMakeFiles/tlb_tests.dir/dlb_test.cpp.o" "gcc" "tests/CMakeFiles/tlb_tests.dir/dlb_test.cpp.o.d"
+  "/root/repo/tests/extras_test.cpp" "tests/CMakeFiles/tlb_tests.dir/extras_test.cpp.o" "gcc" "tests/CMakeFiles/tlb_tests.dir/extras_test.cpp.o.d"
+  "/root/repo/tests/graph_test.cpp" "tests/CMakeFiles/tlb_tests.dir/graph_test.cpp.o" "gcc" "tests/CMakeFiles/tlb_tests.dir/graph_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/tlb_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/tlb_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/nanos_test.cpp" "tests/CMakeFiles/tlb_tests.dir/nanos_test.cpp.o" "gcc" "tests/CMakeFiles/tlb_tests.dir/nanos_test.cpp.o.d"
+  "/root/repo/tests/policies_test.cpp" "tests/CMakeFiles/tlb_tests.dir/policies_test.cpp.o" "gcc" "tests/CMakeFiles/tlb_tests.dir/policies_test.cpp.o.d"
+  "/root/repo/tests/runtime_test.cpp" "tests/CMakeFiles/tlb_tests.dir/runtime_test.cpp.o" "gcc" "tests/CMakeFiles/tlb_tests.dir/runtime_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/tlb_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/tlb_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/solver_test.cpp" "tests/CMakeFiles/tlb_tests.dir/solver_test.cpp.o" "gcc" "tests/CMakeFiles/tlb_tests.dir/solver_test.cpp.o.d"
+  "/root/repo/tests/sweep_test.cpp" "tests/CMakeFiles/tlb_tests.dir/sweep_test.cpp.o" "gcc" "tests/CMakeFiles/tlb_tests.dir/sweep_test.cpp.o.d"
+  "/root/repo/tests/trace_metrics_test.cpp" "tests/CMakeFiles/tlb_tests.dir/trace_metrics_test.cpp.o" "gcc" "tests/CMakeFiles/tlb_tests.dir/trace_metrics_test.cpp.o.d"
+  "/root/repo/tests/vmpi_test.cpp" "tests/CMakeFiles/tlb_tests.dir/vmpi_test.cpp.o" "gcc" "tests/CMakeFiles/tlb_tests.dir/vmpi_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tlb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/tlb_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/tlb_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmpi/CMakeFiles/tlb_vmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/tlb_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tlb_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/dlb/CMakeFiles/tlb_dlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/nanos/CMakeFiles/tlb_nanos.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/tlb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tlb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

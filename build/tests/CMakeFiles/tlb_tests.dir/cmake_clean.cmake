@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlb_tests.dir/apps_test.cpp.o"
+  "CMakeFiles/tlb_tests.dir/apps_test.cpp.o.d"
+  "CMakeFiles/tlb_tests.dir/dlb_test.cpp.o"
+  "CMakeFiles/tlb_tests.dir/dlb_test.cpp.o.d"
+  "CMakeFiles/tlb_tests.dir/extras_test.cpp.o"
+  "CMakeFiles/tlb_tests.dir/extras_test.cpp.o.d"
+  "CMakeFiles/tlb_tests.dir/graph_test.cpp.o"
+  "CMakeFiles/tlb_tests.dir/graph_test.cpp.o.d"
+  "CMakeFiles/tlb_tests.dir/integration_test.cpp.o"
+  "CMakeFiles/tlb_tests.dir/integration_test.cpp.o.d"
+  "CMakeFiles/tlb_tests.dir/nanos_test.cpp.o"
+  "CMakeFiles/tlb_tests.dir/nanos_test.cpp.o.d"
+  "CMakeFiles/tlb_tests.dir/policies_test.cpp.o"
+  "CMakeFiles/tlb_tests.dir/policies_test.cpp.o.d"
+  "CMakeFiles/tlb_tests.dir/runtime_test.cpp.o"
+  "CMakeFiles/tlb_tests.dir/runtime_test.cpp.o.d"
+  "CMakeFiles/tlb_tests.dir/sim_test.cpp.o"
+  "CMakeFiles/tlb_tests.dir/sim_test.cpp.o.d"
+  "CMakeFiles/tlb_tests.dir/solver_test.cpp.o"
+  "CMakeFiles/tlb_tests.dir/solver_test.cpp.o.d"
+  "CMakeFiles/tlb_tests.dir/sweep_test.cpp.o"
+  "CMakeFiles/tlb_tests.dir/sweep_test.cpp.o.d"
+  "CMakeFiles/tlb_tests.dir/trace_metrics_test.cpp.o"
+  "CMakeFiles/tlb_tests.dir/trace_metrics_test.cpp.o.d"
+  "CMakeFiles/tlb_tests.dir/vmpi_test.cpp.o"
+  "CMakeFiles/tlb_tests.dir/vmpi_test.cpp.o.d"
+  "tlb_tests"
+  "tlb_tests.pdb"
+  "tlb_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlb_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
