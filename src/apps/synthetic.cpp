@@ -12,6 +12,16 @@ namespace tlb::apps {
 
 SyntheticWorkload::SyntheticWorkload(SyntheticConfig config)
     : config_(config), rng_(config.seed) {
+  init();
+}
+
+void SyntheticWorkload::reseed(std::uint64_t seed) {
+  config_.seed = seed;
+  rng_ = sim::Rng(seed);
+  init();
+}
+
+void SyntheticWorkload::init() {
   const int a = config_.appranks;
   const double base = config_.base_duration;
   const double imb = config_.imbalance;

@@ -43,6 +43,12 @@ class SyntheticWorkload final : public core::Workload {
   }
   std::vector<core::TaskSpec> make_tasks(int apprank, int iteration) override;
 
+  /// Re-derives all stochastic state (rank means, task-duration streams)
+  /// from `seed`, overriding SyntheticConfig::seed. The ClusterRuntime
+  /// calls this with a child of RuntimeConfig::seed so a whole run is
+  /// reproducible from that single number.
+  void reseed(std::uint64_t seed) override;
+
   /// Mean task duration of each rank (for tests: Eq. 2 of these values
   /// equals the configured imbalance).
   [[nodiscard]] const std::vector<double>& rank_means() const {
@@ -52,6 +58,9 @@ class SyntheticWorkload final : public core::Workload {
   [[nodiscard]] double realized_imbalance() const;
 
  private:
+  /// (Re)computes the per-rank means from config_ and rng_.
+  void init();
+
   SyntheticConfig config_;
   std::vector<double> means_;
   sim::Rng rng_;

@@ -99,10 +99,17 @@ OwnershipPlan initial_plan(const Topology& topo,
 
 OwnershipPlan local_convergence_plan(const Topology& topo,
                                      const std::vector<int>& node_cores,
-                                     const std::vector<double>& busy) {
+                                     const std::vector<double>& busy,
+                                     const std::vector<char>* alive) {
   OwnershipPlan plan(static_cast<std::size_t>(topo.node_count()));
   for (int n = 0; n < topo.node_count(); ++n) {
-    const auto& residents = topo.workers_on_node(n);
+    std::vector<WorkerId> residents;
+    for (WorkerId w : topo.workers_on_node(n)) {
+      if (alive == nullptr || (*alive)[static_cast<std::size_t>(w)]) {
+        residents.push_back(w);
+      }
+    }
+    assert(!residents.empty() && "node lost every resident worker");
     std::vector<double> weight;
     weight.reserve(residents.size());
     for (WorkerId w : residents) {
@@ -120,14 +127,35 @@ OwnershipPlan local_convergence_plan(const Topology& topo,
 
 OwnershipPlan global_solver_plan(const Topology& topo,
                                  const std::vector<int>& node_cores,
-                                 const std::vector<double>& busy) {
+                                 const std::vector<double>& busy,
+                                 const std::vector<char>* alive) {
+  // With crashed workers masked out, the solve runs over the reduced
+  // bipartite graph whose edges are the surviving workers (slot order is
+  // preserved, so each apprank's home edge stays first — home workers
+  // cannot crash).
+  graph::BipartiteGraph reduced;
+  std::vector<std::vector<WorkerId>> slot_workers;
+  if (alive != nullptr) {
+    reduced = graph::BipartiteGraph(topo.apprank_count(), topo.node_count());
+    slot_workers.resize(static_cast<std::size_t>(topo.apprank_count()));
+    for (int a = 0; a < topo.apprank_count(); ++a) {
+      for (WorkerId w : topo.workers_of_apprank(a)) {
+        if (!(*alive)[static_cast<std::size_t>(w)]) continue;
+        reduced.add_edge(a, topo.worker(w).node);
+        slot_workers[static_cast<std::size_t>(a)].push_back(w);
+      }
+      assert(!slot_workers[static_cast<std::size_t>(a)].empty());
+    }
+  }
+
   solver::AllocationProblem problem;
-  problem.graph = &topo.graph();
+  problem.graph = alive != nullptr ? &reduced : &topo.graph();
   problem.node_cores = node_cores;
   problem.work.assign(static_cast<std::size_t>(topo.apprank_count()), 0.0);
   for (int a = 0; a < topo.apprank_count(); ++a) {
     double total = 0.0;
     for (WorkerId w : topo.workers_of_apprank(a)) {
+      if (alive != nullptr && !(*alive)[static_cast<std::size_t>(w)]) continue;
       total += std::max(0.0, busy[static_cast<std::size_t>(w)]);
     }
     problem.work[static_cast<std::size_t>(a)] = total;
@@ -136,7 +164,9 @@ OwnershipPlan global_solver_plan(const Topology& topo,
 
   OwnershipPlan plan(static_cast<std::size_t>(topo.node_count()));
   for (int a = 0; a < topo.apprank_count(); ++a) {
-    const auto& workers = topo.workers_of_apprank(a);
+    const auto& workers = alive != nullptr
+                              ? slot_workers[static_cast<std::size_t>(a)]
+                              : topo.workers_of_apprank(a);
     for (std::size_t j = 0; j < workers.size(); ++j) {
       const WorkerInfo& info = topo.worker(workers[j]);
       plan[static_cast<std::size_t>(info.node)].emplace_back(

@@ -27,16 +27,22 @@ using OwnershipPlan = std::vector<std::vector<std::pair<WorkerId, int>>>;
 /// §5.4.1 — each node independently redistributes its cores proportionally
 /// to the resident workers' average busy-core counts.
 /// `busy[w]` is the windowed average busy cores of worker w.
+/// `alive`, when non-null, masks out crashed workers (tlb::fault): dead
+/// workers receive no cores and their cores are split among survivors.
 OwnershipPlan local_convergence_plan(const Topology& topo,
                                      const std::vector<int>& node_cores,
-                                     const std::vector<double>& busy);
+                                     const std::vector<double>& busy,
+                                     const std::vector<char>* alive = nullptr);
 
 /// §5.4.2 — global solve of Equation (1): per-apprank work = sum of its
 /// workers' busy averages; minimise max_a work_a / cores_a subject to
 /// adjacency, >= 1 core per worker, node capacities; prefer local cores.
+/// `alive`, when non-null, masks out crashed workers: the solve runs over
+/// the reduced offloading graph whose edges are the surviving workers.
 OwnershipPlan global_solver_plan(const Topology& topo,
                                  const std::vector<int>& node_cores,
-                                 const std::vector<double>& busy);
+                                 const std::vector<double>& busy,
+                                 const std::vector<char>* alive = nullptr);
 
 /// Initial ownership (paper §5.4): each helper rank owns one core; the
 /// remaining cores are divided equally among the node's appranks.

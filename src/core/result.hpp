@@ -30,6 +30,12 @@ struct RunResult {
   std::uint64_t lewi_reclaims = 0;
   std::uint64_t drom_moves = 0;
 
+  // Fault / resilience statistics (tlb::fault).
+  std::uint64_t tasks_reexecuted = 0;  ///< rescued from crashed workers
+  std::uint64_t workers_crashed = 0;
+  std::uint64_t messages_lost = 0;     ///< transmissions lost on the wire
+  std::uint64_t retransmissions = 0;   ///< retry attempts after losses
+
   std::uint64_t events_fired = 0;      ///< simulator events (diagnostic)
 
   [[nodiscard]] double offload_fraction() const {

@@ -10,6 +10,17 @@ namespace tlb::core {
 
 namespace {
 
+/// Control-plane message tags (ctrl_comm_).
+constexpr int kTagOffload = 1;   ///< home -> helper: task assignment
+constexpr int kTagComplete = 2;  ///< helper -> home: task completion
+
+// Tags for deriving independent child RNG streams from RuntimeConfig::seed
+// (the expander consumes the seed directly).
+constexpr std::uint64_t kSeedWorkload = 0xA995;
+constexpr std::uint64_t kSeedFaultJitter = 0xFA17;
+constexpr std::uint64_t kSeedAppComm = 0xC0A1;
+constexpr std::uint64_t kSeedCtrlComm = 0xC0A2;
+
 /// Applies an ownership plan directly (initial division, bypassing the
 /// DromModule enable flag: the startup split of §5.4 always happens).
 void force_plan(dlb::NodeCores& cores,
@@ -45,6 +56,27 @@ ClusterRuntime::ClusterRuntime(RuntimeConfig config)
   app_comm_ = std::make_unique<vmpi::Communicator>(
       engine_, config_.cluster.link, std::move(rank_to_node));
 
+  // Control plane: one vmpi rank per worker process, so offload/finish
+  // notifications are priced by the interconnect and see link faults.
+  std::vector<int> worker_to_node(
+      static_cast<std::size_t>(topology_->worker_count()));
+  for (int w = 0; w < topology_->worker_count(); ++w) {
+    worker_to_node[static_cast<std::size_t>(w)] = topology_->worker(w).node;
+  }
+  ctrl_comm_ = std::make_unique<vmpi::Communicator>(
+      engine_, config_.cluster.link, std::move(worker_to_node));
+
+  // Single-seed reproducibility: every stochastic component draws from an
+  // independent child stream of config_.seed.
+  const sim::Rng root(config_.seed);
+  fault_rng_ = root.fork(kSeedFaultJitter);
+  app_comm_->set_fault_seed(root.fork(kSeedAppComm).next_u64());
+  ctrl_comm_->set_fault_seed(root.fork(kSeedCtrlComm).next_u64());
+
+  node_speed_.reserve(config_.cluster.nodes.size());
+  for (const auto& n : config_.cluster.nodes) node_speed_.push_back(n.speed);
+  alive_.assign(static_cast<std::size_t>(topology_->worker_count()), 1);
+
   node_cores_.reserve(static_cast<std::size_t>(topology_->node_count()));
   lewi_.reserve(node_cores_.capacity());
   drom_.reserve(node_cores_.capacity());
@@ -77,6 +109,7 @@ ClusterRuntime::ClusterRuntime(RuntimeConfig config)
 
 RunResult ClusterRuntime::run(Workload& workload) {
   workload_ = &workload;
+  workload.reseed(sim::Rng(config_.seed).fork(kSeedWorkload).next_u64());
 
   // Initial ownership: one core per helper, the rest split among the
   // node's appranks (§5.4).
@@ -112,6 +145,10 @@ RunResult ClusterRuntime::run(Workload& workload) {
     result_.lewi_reclaims += lw->reclaims();
   }
   for (const auto& dm : drom_) result_.drom_moves += dm->ownership_changes();
+  result_.messages_lost =
+      app_comm_->messages_lost() + ctrl_comm_->messages_lost();
+  result_.retransmissions =
+      app_comm_->retransmissions() + ctrl_comm_->retransmissions();
   result_.events_fired = engine_.events_fired();
   return result_;
 }
@@ -153,7 +190,7 @@ void ClusterRuntime::enter_barrier(int apprank) {
       st.locations->pull(regions, topology_->home_node(apprank));
   sim::SimTime delay = 0.0;
   if (bytes > 0) {
-    delay = config_.cluster.link.transfer_time(bytes);
+    delay = faulted_transfer_time(bytes);
     result_.transfer_bytes += bytes;
   }
   engine_.after(delay, [this, apprank] {
@@ -208,11 +245,13 @@ int ClusterRuntime::pick_worker(const nanos::Task& task) const {
   const auto& loc = *appranks_[static_cast<std::size_t>(task.apprank)].locations;
 
   // Locality-best node: most input bytes already resident; home wins ties.
+  // Crashed workers are never candidates (home workers cannot crash).
   WorkerId best = ws.front();
   if (ws.size() > 1 && !task.accesses.empty()) {
     std::uint64_t best_bytes =
         loc.resident_input_bytes(task.accesses, topology_->worker(best).node);
     for (std::size_t j = 1; j < ws.size(); ++j) {
+      if (!alive_[static_cast<std::size_t>(ws[j])]) continue;
       const std::uint64_t b = loc.resident_input_bytes(
           task.accesses, topology_->worker(ws[j]).node);
       if (b > best_bytes) {
@@ -227,7 +266,10 @@ int ClusterRuntime::pick_worker(const nanos::Task& task) const {
   WorkerId alt = -1;
   double best_ratio = std::numeric_limits<double>::infinity();
   for (WorkerId w : ws) {
-    if (w == best || !under_threshold(w)) continue;
+    if (w == best || !alive_[static_cast<std::size_t>(w)] ||
+        !under_threshold(w)) {
+      continue;
+    }
     const double ratio =
         static_cast<double>(workers_[static_cast<std::size_t>(w)].inflight) /
         std::max(1, owned_cores(w));
@@ -258,33 +300,59 @@ void ClusterRuntime::on_task_ready(nanos::TaskId id) {
 void ClusterRuntime::assign_to_worker(nanos::TaskId id, WorkerId w) {
   nanos::Task& task = pool_.get(id);
   const WorkerInfo& info = topology_->worker(w);
+  assert(alive_[static_cast<std::size_t>(w)]);
   task.state = nanos::TaskState::Scheduled;
   task.scheduled_node = info.node;
+  workers_[static_cast<std::size_t>(w)].inflight += 1;
 
-  // Offloading is final from here (§5.5): initiate the control message and
-  // the eager input transfer now; the task may start computing once data
-  // has arrived.
-  sim::SimTime cost = 0.0;
-  if (!info.is_home) {
-    cost += config_.cluster.link.latency;  // offload control message
-    ++result_.control_messages;
+  // Offloading is final from here (§5.5). A home assignment is a local
+  // runtime call; a remote one is an offload control message over the
+  // control plane (it pays the link latency and can be degraded or lost
+  // and retransmitted). The eager input transfer starts once the helper
+  // has learned of the task.
+  if (info.is_home) {
+    finish_assignment(id, w);
+    return;
   }
+  ++result_.control_messages;
+  workers_[static_cast<std::size_t>(w)].pending += 1;
+  const WorkerId home = topology_->home_worker(task.apprank);
+  ctrl_comm_->send(home, w, kTagOffload, 0,
+                   [this, id, w](const vmpi::Message&) {
+                     workers_[static_cast<std::size_t>(w)].pending -= 1;
+                     if (!alive_[static_cast<std::size_t>(w)]) {
+                       // The helper crashed while the offload message was
+                       // in flight: the task was never received there.
+                       rescue_task(id, w);
+                       return;
+                     }
+                     finish_assignment(id, w);
+                     kick_node(topology_->worker(w).node);
+                   });
+  // Consume the message at the receiver (the logic lives in the delivery
+  // callback above; this keeps the helper's mailbox from accumulating).
+  ctrl_comm_->recv(w, vmpi::kAnySource, vmpi::kAnyTag,
+                   [](const vmpi::Message&) {});
+}
+
+void ClusterRuntime::finish_assignment(nanos::TaskId id, WorkerId w) {
+  nanos::Task& task = pool_.get(id);
+  const WorkerInfo& info = topology_->worker(w);
   const std::uint64_t bytes =
       appranks_[static_cast<std::size_t>(task.apprank)]
           .locations->missing_input_bytes(task.accesses, info.node);
   task.transfer_bytes = bytes;
+  sim::SimTime cost = 0.0;
   if (bytes > 0) {
-    cost += config_.cluster.link.transfer_time(bytes);
+    cost = faulted_transfer_time(bytes);
     result_.transfer_bytes += bytes;
   }
   task.data_ready_at = engine_.now() + cost;
-
-  WorkerState& ws = workers_[static_cast<std::size_t>(w)];
-  ws.inflight += 1;
-  ws.queue.push_back(id);
+  workers_[static_cast<std::size_t>(w)].queue.push_back(id);
 }
 
 void ClusterRuntime::dispatch(WorkerId w) {
+  if (!alive_[static_cast<std::size_t>(w)]) return;
   const WorkerInfo& info = topology_->worker(w);
   dlb::NodeCores& nc = *node_cores_[static_cast<std::size_t>(info.node)];
   WorkerState& ws = workers_[static_cast<std::size_t>(w)];
@@ -295,11 +363,16 @@ void ClusterRuntime::dispatch(WorkerId w) {
     if (idle.empty()) return;
     if (ws.queue.empty()) {
       // Steal from the apprank's central queue: an idle core is capacity
-      // by definition ("stolen as tasks complete", §5.5).
+      // by definition ("stolen as tasks complete", §5.5). A remote
+      // assignment is asynchronous (offload control message in flight),
+      // so pre-claim at most one in-flight task per idle core; each
+      // delivery callback kicks this node again.
       if (st.central.empty()) return;
+      if (ws.pending >= static_cast<int>(idle.size())) return;
       const nanos::TaskId id = st.central.front();
       st.central.pop_front();
       assign_to_worker(id, w);
+      continue;
     }
     const nanos::TaskId id = ws.queue.front();
     ws.queue.pop_front();
@@ -313,13 +386,14 @@ void ClusterRuntime::start_task(nanos::TaskId id, WorkerId w, int core) {
   assert(task.state == nanos::TaskState::Scheduled);
   task.state = nanos::TaskState::Running;
   task.start_at = engine_.now();
+  task.executed_worker = w;
   task.executed_core = core;
+  task.executions += 1;
 
   dlb::NodeCores& nc = *node_cores_[static_cast<std::size_t>(info.node)];
   nc.task_started(core);
 
-  const double speed =
-      config_.cluster.nodes[static_cast<std::size_t>(info.node)].speed;
+  const double speed = node_speed_[static_cast<std::size_t>(info.node)];
   sim::SimTime transfer_wait =
       std::max(0.0, task.data_ready_at - engine_.now());
   if (nc.owner(core) != w) {
@@ -329,22 +403,33 @@ void ClusterRuntime::start_task(nanos::TaskId id, WorkerId w, int core) {
   }
   const sim::SimTime compute = task.work / speed;
 
+  RunningTask run;
+  run.worker = w;
+  run.node = info.node;
+  run.core = core;
+
   // Busy accounting covers the compute phase only: a core waiting for data
   // is occupied but not busy (the paper's borrowed-core under-utilisation).
   if (transfer_wait > 0.0) {
-    engine_.after(transfer_wait, [this, w, node = info.node,
-                                  apprank = info.apprank] {
-      talp_->on_busy_delta(w, +1);
-      recorder_->busy_delta(engine_.now(), node, apprank, +1);
-    });
+    run.busy_event = engine_.after(
+        transfer_wait, [this, id, w, node = info.node, apprank = info.apprank] {
+          talp_->on_busy_delta(w, +1);
+          recorder_->busy_delta(engine_.now(), node, apprank, +1);
+          auto it = running_.find(id);
+          assert(it != running_.end());
+          it->second.busy_applied = true;
+        });
   } else {
     talp_->on_busy_delta(w, +1);
     recorder_->busy_delta(engine_.now(), info.node, info.apprank, +1);
+    run.busy_applied = true;
   }
-  engine_.after(transfer_wait + compute, [this, id, w, node = info.node,
-                                          core] {
-    on_task_finished(id, w, node, core);
-  });
+  run.finish_event = engine_.after(
+      transfer_wait + compute,
+      [this, id, w, node = info.node, core] {
+        on_task_finished(id, w, node, core);
+      });
+  running_.emplace(id, run);
 }
 
 void ClusterRuntime::on_task_finished(nanos::TaskId id, WorkerId w, int node,
@@ -352,6 +437,7 @@ void ClusterRuntime::on_task_finished(nanos::TaskId id, WorkerId w, int node,
   nanos::Task& task = pool_.get(id);
   const WorkerInfo& info = topology_->worker(w);
   task.finish_at = engine_.now();
+  running_.erase(id);  // completion can no longer be voided by a crash
 
   talp_->on_busy_delta(w, -1);
   recorder_->busy_delta(engine_.now(), node, info.apprank, -1);
@@ -388,8 +474,14 @@ void ClusterRuntime::on_task_finished(nanos::TaskId id, WorkerId w, int node,
     for (int n : touched) kick_node(n);
   };
   if (node != home) {
+    // Completion notification back to the apprank's home runtime; travels
+    // the control plane like any other runtime message.
     ++result_.control_messages;
-    engine_.after(config_.cluster.link.latency, complete);
+    const WorkerId home_w = topology_->home_worker(apprank);
+    ctrl_comm_->send(w, home_w, kTagComplete, 0,
+                     [complete](const vmpi::Message&) { complete(); });
+    ctrl_comm_->recv(home_w, vmpi::kAnySource, vmpi::kAnyTag,
+                     [](const vmpi::Message&) {});
   } else {
     complete();
   }
@@ -406,12 +498,18 @@ void ClusterRuntime::kick_node(int node) {
     const WorkerState& ws = workers_[static_cast<std::size_t>(w)];
     const ApprankState& st =
         appranks_[static_cast<std::size_t>(topology_->worker(w).apprank)];
-    return static_cast<int>(ws.queue.size() + st.central.size());
+    return static_cast<int>(ws.queue.size() + st.central.size()) + ws.pending;
+  };
+
+  // Crashed workers take no further part in scheduling.
+  auto is_alive = [this](WorkerId w) {
+    return alive_[static_cast<std::size_t>(w)] != 0;
   };
 
   // 1. Owners with backlog reclaim their lent-out cores (§5.3).
   if (lw.enabled()) {
     for (WorkerId w : residents) {
+      if (!is_alive(w)) continue;
       const int idle = static_cast<int>(nc.idle_leased_cores(w).size());
       const int deficit = backlog_of(w) - idle;
       if (deficit > 0) lw.reclaim_for(w, deficit);
@@ -422,10 +520,11 @@ void ClusterRuntime::kick_node(int node) {
   // 3. Idle workers lend their remaining cores into the pool.
   if (lw.enabled()) {
     for (WorkerId w : residents) {
-      if (backlog_of(w) == 0) lw.lend_idle(w);
+      if (is_alive(w) && backlog_of(w) == 0) lw.lend_idle(w);
     }
     // 4. Backlogged workers borrow from the pool.
     for (WorkerId w : residents) {
+      if (!is_alive(w)) continue;
       const int idle = static_cast<int>(nc.idle_leased_cores(w).size());
       const int want = backlog_of(w) - idle;
       if (want > 0) {
@@ -455,7 +554,12 @@ void ClusterRuntime::policy_tick() {
   std::vector<double> busy(static_cast<std::size_t>(topology_->worker_count()));
   for (int w = 0; w < topology_->worker_count(); ++w) {
     auto& ema = busy_smoothed_[static_cast<std::size_t>(w)];
-    ema = s * ema + (1.0 - s) * talp_->window_average(w);
+    if (!alive_[static_cast<std::size_t>(w)]) {
+      // Crashed worker: no residual demand must leak into the plans.
+      ema = 0.0;
+    } else {
+      ema = s * ema + (1.0 - s) * talp_->window_average(w);
+    }
     busy[static_cast<std::size_t>(w)] = ema;
   }
   talp_->reset_window();
@@ -464,11 +568,14 @@ void ClusterRuntime::policy_tick() {
   node_core_counts.reserve(config_.cluster.nodes.size());
   for (const auto& n : config_.cluster.nodes) node_core_counts.push_back(n.cores);
 
+  // The alive mask is only passed once a worker has died, so a fault-free
+  // run takes exactly the pre-fault code path.
+  const std::vector<char>* mask = any_worker_dead() ? &alive_ : nullptr;
   OwnershipPlan plan;
   if (config_.policy == PolicyKind::Local) {
-    plan = local_convergence_plan(*topology_, node_core_counts, busy);
+    plan = local_convergence_plan(*topology_, node_core_counts, busy, mask);
   } else {
-    plan = global_solver_plan(*topology_, node_core_counts, busy);
+    plan = global_solver_plan(*topology_, node_core_counts, busy, mask);
   }
 
   if (config_.policy == PolicyKind::Global && config_.solver_latency > 0.0) {
@@ -482,6 +589,15 @@ void ClusterRuntime::policy_tick() {
 }
 
 void ClusterRuntime::apply_plan(const OwnershipPlan& plan) {
+  // A plan computed before a crash (e.g. held back by solver_latency) may
+  // still grant cores to a dead worker; drop it — crash_worker already
+  // triggered a fresh solve over the reduced graph.
+  for (const auto& node_plan : plan) {
+    for (const auto& [w, count] : node_plan) {
+      (void)count;
+      if (!alive_[static_cast<std::size_t>(w)]) return;
+    }
+  }
   for (int n = 0; n < topology_->node_count(); ++n) {
     drom_[static_cast<std::size_t>(n)]->apply(plan[static_cast<std::size_t>(n)]);
   }
@@ -496,6 +612,128 @@ void ClusterRuntime::record_ownership() {
       recorder_->set_owned(engine_.now(), n, topology_->worker(w).apprank,
                            nc.owned_count(w));
     }
+  }
+}
+
+// --- perturbation / resilience (tlb::fault) -----------------------------------
+
+bool ClusterRuntime::any_worker_dead() const {
+  for (char a : alive_) {
+    if (!a) return true;
+  }
+  return false;
+}
+
+void ClusterRuntime::set_node_speed(int node, double speed) {
+  assert(node >= 0 && node < topology_->node_count());
+  assert(speed > 0.0);
+  node_speed_[static_cast<std::size_t>(node)] = speed;
+}
+
+void ClusterRuntime::set_link_fault(const vmpi::LinkFault& fault) {
+  link_fault_ = fault;
+  app_comm_->set_link_fault(fault);
+  ctrl_comm_->set_link_fault(fault);
+}
+
+sim::SimTime ClusterRuntime::faulted_transfer_time(std::uint64_t bytes) {
+  // With a default LinkFault this reproduces LinkSpec::transfer_time
+  // bit-for-bit (multiplying by 1.0 is exact) and draws no random numbers.
+  const sim::LinkSpec& l = config_.cluster.link;
+  sim::SimTime t = l.latency * link_fault_.latency_mult +
+                   static_cast<double>(bytes) /
+                       (l.bandwidth * link_fault_.bandwidth_mult);
+  if (link_fault_.jitter_max > 0.0) {
+    t += fault_rng_.uniform(0.0, link_fault_.jitter_max);
+  }
+  return t;
+}
+
+void ClusterRuntime::mark_trace(const std::string& label) {
+  recorder_->mark(engine_.now(), label);
+}
+
+void ClusterRuntime::rescue_task(nanos::TaskId id, WorkerId from) {
+  nanos::Task& task = pool_.get(id);
+  assert(task.state == nanos::TaskState::Scheduled ||
+         task.state == nanos::TaskState::Running);
+  workers_[static_cast<std::size_t>(from)].inflight -= 1;
+  task.state = nanos::TaskState::Ready;
+  task.scheduled_node = -1;
+  task.data_ready_at = 0.0;
+  task.reexecutions += 1;
+  ++result_.tasks_reexecuted;
+  on_task_ready(id);
+}
+
+void ClusterRuntime::crash_worker(WorkerId w) {
+  assert(w >= 0 && w < topology_->worker_count());
+  const WorkerInfo& info = topology_->worker(w);
+  assert(!info.is_home &&
+         "only helper ranks may crash; the apprank process is the app");
+  if (!alive_[static_cast<std::size_t>(w)] || done_) return;
+  alive_[static_cast<std::size_t>(w)] = 0;
+  ++result_.workers_crashed;
+
+  const int node = info.node;
+  dlb::NodeCores& nc = *node_cores_[static_cast<std::size_t>(node)];
+
+  // 1. Abort the tasks executing on the crashed worker: cancel their
+  // completion events, undo busy accounting, free their cores.
+  std::vector<nanos::TaskId> lost;
+  for (auto it = running_.begin(); it != running_.end();) {
+    if (it->second.worker != w) {
+      ++it;
+      continue;
+    }
+    RunningTask& run = it->second;
+    engine_.cancel(run.finish_event);
+    if (run.busy_applied) {
+      talp_->on_busy_delta(w, -1);
+      recorder_->busy_delta(engine_.now(), node, info.apprank, -1);
+    } else {
+      engine_.cancel(run.busy_event);
+    }
+    nc.task_finished(run.core);
+    lost.push_back(it->first);
+    it = running_.erase(it);
+  }
+
+  // 2. Tasks assigned but not yet started are lost with the worker's queue.
+  WorkerState& ws = workers_[static_cast<std::size_t>(w)];
+  for (nanos::TaskId id : ws.queue) lost.push_back(id);
+  ws.queue.clear();
+
+  // 3. Evict the worker from core ownership: its cores move to the
+  // surviving residents (DROM invariant: every core keeps exactly one
+  // owner), and cores it had borrowed return to their owners.
+  std::vector<WorkerId> survivors;
+  for (WorkerId r : topology_->workers_on_node(node)) {
+    if (alive_[static_cast<std::size_t>(r)]) survivors.push_back(r);
+  }
+  assert(!survivors.empty() && "a node always keeps its apprank process");
+  std::size_t rr = 0;
+  for (int c = 0; c < nc.core_count(); ++c) {
+    if (nc.owner(c) == w) {
+      nc.set_owner(c, survivors[rr++ % survivors.size()]);
+    } else if (nc.lease(c) == w && !nc.is_running(c)) {
+      nc.reclaim(c);
+    }
+  }
+  record_ownership();
+
+  // 4. Re-queue the lost tasks; each is re-executed exactly once (the
+  // scheduler never picks a dead worker again). Rescued tasks can land on
+  // any adjacent node, so kick them all.
+  for (nanos::TaskId id : lost) rescue_task(id, w);
+  for (int n = 0; n < topology_->node_count(); ++n) kick_node(n);
+
+  // 5. Fresh policy solve over the reduced offloading graph, without
+  // waiting for the next periodic tick.
+  if (config_.drom_active() && !done_) {
+    engine_.cancel(policy_event_);
+    policy_event_ = sim::kInvalidEvent;
+    policy_tick();
   }
 }
 

@@ -11,12 +11,22 @@
 //   - eager data transfers priced by the interconnect model, no automatic
 //     write-back (§3.2), pull-to-home at MPI boundaries (§4).
 //
+// Resilience and perturbation hooks (tlb::fault): node speeds and the
+// interconnect can be perturbed mid-run, helper ranks can crash — their
+// in-flight tasks are detected lost and re-executed elsewhere, their cores
+// return to the surviving workers, and the allocation policy re-solves over
+// the reduced offloading graph. Runtime control messages (offload / finish
+// notifications) travel over a vmpi communicator so they experience link
+// degradation and message loss like any other traffic.
+//
 // One ClusterRuntime instance performs one execution (construct anew per
 // run); traces and statistics remain readable afterwards.
 #pragma once
 
 #include <deque>
 #include <memory>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/config.hpp"
@@ -55,11 +65,63 @@ class ClusterRuntime {
   }
   [[nodiscard]] const RuntimeConfig& config() const { return config_; }
   [[nodiscard]] sim::SimTime now() const { return engine_.now(); }
+  [[nodiscard]] const nanos::TaskPool& tasks() const { return pool_; }
+
+  // --- perturbation / resilience hooks (tlb::fault) -------------------------
+
+  /// Schedules `fn` at absolute simulated time `t`; the vehicle by which a
+  /// FaultInjector plants perturbations into a run before run() starts.
+  void schedule_external(sim::SimTime t, std::function<void()> fn) {
+    engine_.at(t, std::move(fn));
+  }
+
+  /// Changes a node's speed factor from now on. Tasks already executing
+  /// finish at their original rate (a task's duration is fixed when it
+  /// starts); tasks starting after the change run at the new speed.
+  void set_node_speed(int node, double speed);
+  [[nodiscard]] double node_speed(int node) const {
+    return node_speed_.at(static_cast<std::size_t>(node));
+  }
+
+  /// Installs a link perturbation on all traffic: application messages,
+  /// runtime control messages, and eager data transfers. A default
+  /// LinkFault restores the nominal interconnect.
+  void set_link_fault(const vmpi::LinkFault& fault);
+  [[nodiscard]] const vmpi::LinkFault& link_fault() const {
+    return link_fault_;
+  }
+
+  /// Fail-stop crash of a helper rank (home ranks cannot crash: the
+  /// apprank process is the application). Its queued and running tasks are
+  /// detected lost and re-queued for execution elsewhere, its cores are
+  /// returned to the surviving workers on the node, and the DROM policy
+  /// re-solves immediately over the reduced adjacency.
+  void crash_worker(WorkerId w);
+  [[nodiscard]] bool worker_alive(WorkerId w) const {
+    return alive_.at(static_cast<std::size_t>(w)) != 0;
+  }
+
+  /// Annotates the trace timeline at the current simulated time.
+  void mark_trace(const std::string& label);
 
  private:
   struct WorkerState {
     std::deque<nanos::TaskId> queue;  ///< assigned, waiting for a core
     int inflight = 0;                 ///< assigned + running tasks
+    /// Remote assignments whose offload control message is still in
+    /// flight. Counted as backlog so LeWI does not lend away the cores
+    /// these tasks are about to need.
+    int pending = 0;
+  };
+  /// Bookkeeping for a task currently executing, so a worker crash can
+  /// cancel its completion and rebook its busy accounting.
+  struct RunningTask {
+    WorkerId worker = -1;
+    int node = -1;
+    int core = -1;
+    bool busy_applied = false;  ///< busy +1 already recorded (data arrived)
+    sim::EventId busy_event = sim::kInvalidEvent;
+    sim::EventId finish_event = sim::kInvalidEvent;
   };
   struct ApprankState {
     std::unique_ptr<nanos::DependencyGraph> deps;
@@ -80,6 +142,7 @@ class ClusterRuntime {
   // Scheduling (§5.5).
   void on_task_ready(nanos::TaskId id);
   void assign_to_worker(nanos::TaskId id, WorkerId w);
+  void finish_assignment(nanos::TaskId id, WorkerId w);
   void start_task(nanos::TaskId id, WorkerId w, int core);
   void on_task_finished(nanos::TaskId id, WorkerId w, int node, int core);
   void kick_node(int node);
@@ -87,6 +150,13 @@ class ClusterRuntime {
   [[nodiscard]] int owned_cores(WorkerId w) const;
   [[nodiscard]] bool under_threshold(WorkerId w) const;
   [[nodiscard]] int pick_worker(const nanos::Task& task) const;
+
+  // Fault handling (tlb::fault).
+  /// Re-queues a task whose assignment to `from` was voided by a crash.
+  void rescue_task(nanos::TaskId id, WorkerId from);
+  /// Point-to-point transfer cost with the active link fault applied.
+  [[nodiscard]] sim::SimTime faulted_transfer_time(std::uint64_t bytes);
+  [[nodiscard]] bool any_worker_dead() const;
 
   // DROM policy loop (§5.4).
   void schedule_policy_tick();
@@ -99,6 +169,9 @@ class ClusterRuntime {
   graph::ExpanderResult expander_;
   std::unique_ptr<Topology> topology_;
   std::unique_ptr<vmpi::Communicator> app_comm_;  ///< appranks only
+  /// Runtime control plane: one rank per worker process; offload and
+  /// completion notifications travel here (and thus see link faults).
+  std::unique_ptr<vmpi::Communicator> ctrl_comm_;
   std::vector<std::unique_ptr<dlb::NodeCores>> node_cores_;
   std::vector<std::unique_ptr<dlb::LewiModule>> lewi_;
   std::vector<std::unique_ptr<dlb::DromModule>> drom_;
@@ -114,6 +187,13 @@ class ClusterRuntime {
   sim::SimTime last_barrier_time_ = 0.0;
   bool done_ = false;
   sim::EventId policy_event_ = sim::kInvalidEvent;
+
+  // Fault state (tlb::fault).
+  std::vector<double> node_speed_;  ///< current speed factor per node
+  std::vector<char> alive_;         ///< per-worker liveness (1 = alive)
+  std::unordered_map<nanos::TaskId, RunningTask> running_;
+  vmpi::LinkFault link_fault_;
+  sim::Rng fault_rng_ = sim::Rng(0);  ///< reseeded from config_.seed
 };
 
 }  // namespace tlb::core

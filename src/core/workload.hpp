@@ -7,6 +7,7 @@
 // home to perform its MPI exchange).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "nanos/task.hpp"
@@ -26,6 +27,13 @@ class Workload {
 
   /// Number of outer iterations (time steps) the application performs.
   [[nodiscard]] virtual int iteration_count() const = 0;
+
+  /// Re-seeds any stochastic state from a child stream of the runtime's
+  /// single seed (RuntimeConfig::seed), making an entire run — expander,
+  /// workload draws, fault jitter — reproducible from one number. Called by
+  /// ClusterRuntime::run() before the first iteration. Deterministic
+  /// workloads ignore it.
+  virtual void reseed(std::uint64_t seed) { (void)seed; }
 
   /// Tasks the given apprank creates in the given iteration. Called once
   /// per (apprank, iteration), at the simulated time the apprank reaches

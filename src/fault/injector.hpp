@@ -1,0 +1,53 @@
+// FaultInjector — schedules a FaultPlan onto a ClusterRuntime.
+//
+// attach() must be called after constructing the runtime and before run();
+// the injector plants one simulator event per injection/recovery instant
+// (via ClusterRuntime::schedule_external) and must outlive the run. Each
+// event annotates the execution trace with a mark and, when a
+// metrics::RecoverySeries is supplied, records the instant there for
+// post-run recovery analysis.
+//
+// Concurrent link perturbations compose: latency and bandwidth multipliers
+// multiply, jitter bounds take the maximum, and loss rates combine as
+// independent Bernoulli losses (1 - prod(1 - p_i)). When no link event is
+// active the nominal interconnect is restored exactly (multipliers of 1.0
+// are IEEE-exact no-ops, so a plan of zero-magnitude faults leaves the
+// simulated execution bit-identical).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "fault/plan.hpp"
+#include "metrics/recovery.hpp"
+
+namespace tlb::fault {
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  /// Validates the plan and schedules every event onto `rt`. Call before
+  /// rt.run(); `rt` (and `recovery`, if given) must outlive the run, and
+  /// so must this injector.
+  void attach(core::ClusterRuntime& rt,
+              metrics::RecoverySeries* recovery = nullptr);
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+ private:
+  void activate(core::ClusterRuntime& rt, std::size_t i,
+                metrics::RecoverySeries* recovery);
+  void recover(core::ClusterRuntime& rt, std::size_t i,
+               metrics::RecoverySeries* recovery);
+  /// Re-derives the composed LinkFault from all active link events and
+  /// installs it on the runtime.
+  void apply_link(core::ClusterRuntime& rt) const;
+
+  FaultPlan plan_;
+  std::vector<char> active_;        ///< per event: currently in effect
+  std::vector<double> saved_speed_; ///< per event: pre-slowdown node speed
+};
+
+}  // namespace tlb::fault

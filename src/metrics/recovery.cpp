@@ -1,0 +1,55 @@
+#include "metrics/recovery.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "metrics/imbalance.hpp"
+
+namespace tlb::metrics {
+
+void RecoverySeries::record(double t, std::string label, bool is_recovery) {
+  assert((events_.empty() || t >= events_.back().at) &&
+         "perturbations must be recorded in time order");
+  events_.push_back(Perturbation{t, std::move(label), is_recovery});
+}
+
+std::vector<RecoveryReport> RecoverySeries::analyse(
+    const std::vector<const trace::StepSeries*>& node_busy, double t0,
+    double t1, int bins, double threshold, int hold) const {
+  std::vector<RecoveryReport> reports;
+  if (t1 <= t0 || bins <= 0) return reports;
+
+  auto total_busy_rate = [&](double a, double b) {
+    double rate = 0.0;
+    for (const trace::StepSeries* s : node_busy) rate += s->average(a, b);
+    return rate;
+  };
+
+  for (const Perturbation& p : events_) {
+    if (p.is_recovery) continue;
+    RecoveryReport report;
+    report.label = p.label;
+    report.at = p.at;
+    const double a = std::clamp(p.at, t0, t1);
+
+    // Re-convergence: the node-imbalance series from the injection to the
+    // end of the window, judged by the Fig 11 criterion.
+    if (a < t1) {
+      const auto series = node_imbalance_series(node_busy, a, t1, bins);
+      const double conv = convergence_time(series, a, t1, threshold, hold);
+      report.reconverge_time = conv >= 0.0 ? conv - a : -1.0;
+    }
+
+    // Goodput lost: how many busy core-seconds the cluster fell short of
+    // its pre-injection rate. A perturbation-free run reports ~0.
+    if (a > t0 && a < t1) {
+      const double before = total_busy_rate(t0, a);
+      const double after = total_busy_rate(a, t1);
+      report.goodput_lost = std::max(0.0, (before - after) * (t1 - a));
+    }
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+}  // namespace tlb::metrics

@@ -1,0 +1,60 @@
+// Recovery analysis of perturbed runs (tlb::fault).
+//
+// A RecoverySeries collects the timestamps at which perturbations were
+// injected (and recovered) during a run; analyse() then measures, for each
+// injection, how long the allocation policy needed to re-converge the node
+// imbalance and how much goodput the perturbation cost, from the same
+// per-node busy traces that drive the Fig 11 convergence analysis.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/step_series.hpp"
+
+namespace tlb::metrics {
+
+/// One timestamped perturbation (or its recovery) during a run.
+struct Perturbation {
+  double at = 0.0;
+  std::string label;
+  bool is_recovery = false;  ///< end of a perturbation, not a new one
+};
+
+/// Post-run measurement of one injected perturbation.
+struct RecoveryReport {
+  std::string label;
+  double at = 0.0;
+  /// Seconds from the injection until the node imbalance stays at or
+  /// below the threshold for the requested hold; negative when it never
+  /// re-converges inside the analysis window.
+  double reconverge_time = -1.0;
+  /// Busy core-seconds lost after the injection, relative to the average
+  /// busy rate observed before it (clamped at zero).
+  double goodput_lost = 0.0;
+};
+
+class RecoverySeries {
+ public:
+  /// Records a perturbation (or recovery) instant. Times must be
+  /// non-decreasing; the FaultInjector calls this as events fire.
+  void record(double t, std::string label, bool is_recovery = false);
+
+  [[nodiscard]] const std::vector<Perturbation>& events() const {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+
+  /// Measures every recorded injection against the per-node busy traces
+  /// over [t0, t1) (typically [0, makespan)). `bins`, `threshold` and
+  /// `hold` parameterise the imbalance series and the convergence
+  /// criterion exactly as in node_imbalance_series / convergence_time.
+  [[nodiscard]] std::vector<RecoveryReport> analyse(
+      const std::vector<const trace::StepSeries*>& node_busy, double t0,
+      double t1, int bins, double threshold, int hold) const;
+
+ private:
+  std::vector<Perturbation> events_;
+};
+
+}  // namespace tlb::metrics

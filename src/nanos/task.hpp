@@ -54,7 +54,13 @@ struct Task {
   // Execution record.
   TaskState state = TaskState::Created;
   int scheduled_node = -1;   ///< node chosen by the scheduler
+  int executed_worker = -1;  ///< worker that (last) ran the task
   int executed_core = -1;
+  /// Times the task entered execution; > 1 only after a worker crash
+  /// abandoned an earlier attempt (tlb::fault crash recovery).
+  int executions = 0;
+  /// Times the task was detected lost on a crashed worker and re-queued.
+  int reexecutions = 0;
   sim::SimTime created_at = 0.0;
   sim::SimTime ready_at = 0.0;
   sim::SimTime start_at = 0.0;

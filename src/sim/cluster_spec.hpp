@@ -9,6 +9,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -63,14 +64,31 @@ struct ClusterSpec {
     return spec;
   }
 
+  /// Homogeneous cluster with per-node speed overrides: each (index, speed)
+  /// pair pins one node's speed factor. Indices must be in range, distinct,
+  /// and speeds positive.
+  static ClusterSpec with_speeds(
+      int n, int cores, const std::vector<std::pair<int, double>>& overrides) {
+    ClusterSpec spec = homogeneous(n, cores);
+    for (std::size_t i = 0; i < overrides.size(); ++i) {
+      const auto& [index, speed] = overrides[i];
+      assert(index >= 0 && index < n && "speed override index out of range");
+      assert(speed > 0.0 && "speed override must be positive");
+      for (std::size_t j = 0; j < i; ++j) {
+        assert(overrides[j].first != index &&
+               "duplicate node index in speed overrides");
+        (void)j;
+      }
+      spec.nodes[static_cast<std::size_t>(index)].speed = speed;
+    }
+    return spec;
+  }
+
   /// Homogeneous cluster with one slow node (paper §7.5: Nord3 with one
   /// node at 1.8 GHz instead of 3.0 GHz => factor 0.6).
   static ClusterSpec with_slow_node(int n, int cores, int slow_index,
                                     double slow_speed) {
-    ClusterSpec spec = homogeneous(n, cores);
-    assert(slow_index >= 0 && slow_index < n);
-    spec.nodes[static_cast<std::size_t>(slow_index)].speed = slow_speed;
-    return spec;
+    return with_speeds(n, cores, {{slow_index, slow_speed}});
   }
 };
 

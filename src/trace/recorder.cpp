@@ -34,6 +34,11 @@ void Recorder::task_executed(int apprank, int node, int home_node,
   }
 }
 
+void Recorder::mark(sim::SimTime t, std::string label) {
+  assert(marks_.empty() || t >= marks_.back().first);
+  marks_.emplace_back(t, std::move(label));
+}
+
 const StepSeries& Recorder::busy(int node, int apprank) const {
   return busy_[idx(node, apprank)];
 }
@@ -93,6 +98,28 @@ std::string to_csv(
     for (const auto& col : cols) out << ',' << col[static_cast<std::size_t>(i)];
     out << '\n';
   }
+  return out.str();
+}
+
+std::string ascii_marks(
+    const std::vector<std::pair<sim::SimTime, std::string>>& marks,
+    sim::SimTime t0, sim::SimTime t1, int bins) {
+  std::string row(static_cast<std::size_t>(bins), ' ');
+  if (t1 <= t0) return row;
+  for (const auto& [t, label] : marks) {
+    if (t < t0 || t >= t1) continue;
+    auto bin = static_cast<std::size_t>((t - t0) / (t1 - t0) * bins);
+    if (bin >= row.size()) bin = row.size() - 1;
+    row[bin] = '^';
+  }
+  return row;
+}
+
+std::string marks_csv(
+    const std::vector<std::pair<sim::SimTime, std::string>>& marks) {
+  std::ostringstream out;
+  out << "time,mark\n";
+  for (const auto& [t, label] : marks) out << t << ',' << label << '\n';
   return out.str();
 }
 

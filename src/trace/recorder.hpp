@@ -28,6 +28,14 @@ class Recorder {
   void set_owned(sim::SimTime t, int node, int apprank, int count);
   void task_executed(int apprank, int node, int home_node, double work);
 
+  /// Annotates the timeline with a labelled instant (fault injections,
+  /// recoveries, phase changes). Times must be non-decreasing.
+  void mark(sim::SimTime t, std::string label);
+  [[nodiscard]] const std::vector<std::pair<sim::SimTime, std::string>>&
+  marks() const {
+    return marks_;
+  }
+
   [[nodiscard]] const StepSeries& busy(int node, int apprank) const;
   [[nodiscard]] const StepSeries& owned(int node, int apprank) const;
   /// Total busy cores on a node (all appranks).
@@ -54,6 +62,7 @@ class Recorder {
   std::vector<StepSeries> busy_;
   std::vector<StepSeries> owned_;
   std::vector<StepSeries> node_busy_;
+  std::vector<std::pair<sim::SimTime, std::string>> marks_;
   std::uint64_t tasks_total_ = 0;
   std::uint64_t tasks_off_ = 0;
   double work_total_ = 0.0;
@@ -73,5 +82,15 @@ std::string ascii_timeline(
 std::string to_csv(
     const std::vector<std::pair<std::string, const StepSeries*>>& rows,
     sim::SimTime t0, sim::SimTime t1, int bins);
+
+/// One-line marker row aligned with an ascii_timeline of the same [t0, t1)
+/// window: '^' at each bin containing a mark, ' ' elsewhere.
+std::string ascii_marks(
+    const std::vector<std::pair<sim::SimTime, std::string>>& marks,
+    sim::SimTime t0, sim::SimTime t1, int bins);
+
+/// "t,label" CSV of timeline marks.
+std::string marks_csv(
+    const std::vector<std::pair<sim::SimTime, std::string>>& marks);
 
 }  // namespace tlb::trace

@@ -27,8 +27,18 @@ Communicator::Communicator(sim::Engine& engine, sim::LinkSpec link,
     : engine_(engine), link_(link), rank_to_node_(std::move(rank_to_node)) {
   assert(!rank_to_node_.empty());
   mailboxes_.resize(rank_to_node_.size());
-  last_arrival_.assign(rank_to_node_.size(),
-                       std::vector<sim::SimTime>(rank_to_node_.size(), 0.0));
+  channels_.resize(rank_to_node_.size() * rank_to_node_.size());
+}
+
+void Communicator::set_retry_policy(const RetryPolicy& policy) {
+  assert(policy.timeout > 0.0 && policy.backoff >= 1.0 &&
+         policy.max_attempts >= 1);
+  retry_ = policy;
+}
+
+sim::Rng& Communicator::rng() {
+  if (!rng_) rng_.emplace(sim::Rng(0x5EEDu));
+  return *rng_;
 }
 
 sim::SimTime Communicator::transfer_cost(RankId src, RankId dst,
@@ -37,6 +47,19 @@ sim::SimTime Communicator::transfer_cost(RankId src, RankId dst,
     return kShmLatency + static_cast<double>(bytes) / kShmBandwidth;
   }
   return link_.transfer_time(bytes);
+}
+
+sim::SimTime Communicator::faulted_cost(RankId src, RankId dst,
+                                        std::uint64_t bytes) {
+  if (node_of(src) == node_of(dst)) {
+    // Shared memory: unaffected by interconnect faults.
+    return kShmLatency + static_cast<double>(bytes) / kShmBandwidth;
+  }
+  sim::SimTime cost =
+      link_.latency * fault_.latency_mult +
+      static_cast<double>(bytes) / (link_.bandwidth * fault_.bandwidth_mult);
+  if (fault_.jitter_max > 0.0) cost += rng().uniform(0.0, fault_.jitter_max);
+  return cost;
 }
 
 void Communicator::send(RankId src, RankId dst, int tag, std::uint64_t bytes,
@@ -50,23 +73,73 @@ void Communicator::send(RankId src, RankId dst, int tag, std::uint64_t bytes,
   msg.tag = tag;
   msg.bytes = bytes;
   msg.sent_at = engine_.now();
+  msg.seq = channel(src, dst).next_send_seq++;
+  msg.attempts = 1;
+  transmit(dst, std::move(msg), std::move(on_delivered));
+}
 
-  sim::SimTime arrival = engine_.now() + transfer_cost(src, dst, bytes);
-  // Per-channel FIFO: a later (smaller) message may not overtake an earlier
-  // (larger) one on the same channel.
-  auto& last = last_arrival_[static_cast<std::size_t>(src)]
-                            [static_cast<std::size_t>(dst)];
-  arrival = std::max(arrival, last);
-  last = arrival;
-  msg.delivered_at = arrival;
+void Communicator::transmit(RankId dst, Message msg,
+                            std::function<void(const Message&)> on_delivered) {
+  const bool inter_node = node_of(msg.source) != node_of(dst);
+  const bool may_lose = inter_node && fault_.loss_rate > 0.0 &&
+                        msg.attempts < retry_.max_attempts;
+  if (may_lose && rng().uniform(0.0, 1.0) < fault_.loss_rate) {
+    // Lost on the wire: the sender times out and retransmits with
+    // exponential backoff (attempt k is retried after timeout*backoff^k).
+    ++lost_count_;
+    const sim::SimTime wait =
+        retry_.timeout * std::pow(retry_.backoff, msg.attempts - 1);
+    msg.attempts += 1;
+    engine_.after(wait, [this, dst, msg = std::move(msg),
+                         cb = std::move(on_delivered)]() mutable {
+      transmit(dst, std::move(msg), std::move(cb));
+    });
+    return;
+  }
 
-  engine_.at(arrival, [this, dst, msg, cb = std::move(on_delivered)]() {
-    deliver(dst, msg);
-    if (cb) cb(msg);
+  sim::SimTime arrival =
+      engine_.now() + faulted_cost(msg.source, dst, msg.bytes);
+  // Per-channel FIFO on the wire: a later (smaller) message may not overtake
+  // an earlier (larger) one on the same channel. Out-of-order arrivals that
+  // loss still produces are re-ordered at the receiver (arrive()).
+  auto& ch = channel(msg.source, dst);
+  arrival = std::max(arrival, ch.last_arrival);
+  ch.last_arrival = arrival;
+
+  engine_.at(arrival, [this, dst, msg = std::move(msg),
+                       cb = std::move(on_delivered)]() mutable {
+    arrive(dst, std::move(msg), std::move(cb));
   });
 }
 
-void Communicator::deliver(RankId dst, Message msg) {
+void Communicator::arrive(RankId dst, Message msg,
+                          std::function<void(const Message&)> on_delivered) {
+  Channel& ch = channel(msg.source, dst);
+  if (msg.seq != ch.next_deliver_seq) {
+    // A predecessor on this channel is still in flight (being
+    // retransmitted): hold this message to preserve FIFO.
+    assert(msg.seq > ch.next_deliver_seq && "duplicate delivery");
+    ch.held.emplace(msg.seq, Held{std::move(msg), std::move(on_delivered)});
+    return;
+  }
+  msg.delivered_at = engine_.now();
+  ++ch.next_deliver_seq;
+  match(dst, msg);
+  if (on_delivered) on_delivered(msg);
+  // Release any held successors that are now in order.
+  while (true) {
+    auto it = ch.held.find(ch.next_deliver_seq);
+    if (it == ch.held.end()) break;
+    Held h = std::move(it->second);
+    ch.held.erase(it);
+    h.msg.delivered_at = engine_.now();
+    ++ch.next_deliver_seq;
+    match(dst, h.msg);
+    if (h.on_delivered) h.on_delivered(h.msg);
+  }
+}
+
+void Communicator::match(RankId dst, const Message& msg) {
   Mailbox& box = mailboxes_[static_cast<std::size_t>(dst)];
   for (auto it = box.posted.begin(); it != box.posted.end(); ++it) {
     if (matches(*it, msg)) {
@@ -96,7 +169,7 @@ void Communicator::recv(RankId dst, RankId src, int tag,
 }
 
 sim::SimTime Communicator::collective_cost(int rounds) const {
-  return static_cast<double>(rounds) * link_.latency *
+  return static_cast<double>(rounds) * link_.latency * fault_.latency_mult *
          static_cast<double>(ceil_log2(size()));
 }
 
@@ -143,7 +216,8 @@ void Communicator::bcast(RankId rank, RankId root, std::uint64_t bytes,
     bcast_state_ = Collective{};
     const sim::SimTime cost =
         collective_cost(1) +
-        static_cast<double>(payload) / link_.bandwidth;
+        static_cast<double>(payload) /
+            (link_.bandwidth * fault_.bandwidth_mult);
     engine_.after(cost, [cbs = std::move(cbs)]() {
       for (const auto& f : cbs) f();
     });

@@ -9,6 +9,16 @@
 //     much cheaper shared-memory cost within a node;
 //   - barrier and allreduce with dissemination-style log2(P) cost.
 //
+// Fault model (tlb::fault): the link can be perturbed at runtime with a
+// LinkFault — latency/bandwidth multipliers, per-message delay jitter, and
+// a transmission loss rate. Lost transmissions are recovered by a timeout +
+// exponential-backoff retransmit path; per-channel FIFO is preserved across
+// retransmits by sequence-ordered delivery (a message that arrives while an
+// earlier one of the same channel is still being retransmitted is held back
+// until the earlier one lands). With a default-constructed LinkFault the
+// layer is bit-identical to the unfaulted one: no RNG is consulted and the
+// cost arithmetic is unchanged.
+//
 // All operations are non-blocking with completion callbacks, which is the
 // natural shape inside a discrete-event simulation (there is no thread to
 // block).
@@ -17,11 +27,14 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
+#include <optional>
 #include <utility>
 #include <vector>
 
 #include "sim/cluster_spec.hpp"
 #include "sim/engine.hpp"
+#include "sim/rng.hpp"
 
 namespace tlb::vmpi {
 
@@ -32,12 +45,38 @@ inline constexpr RankId kAnySource = -1;
 /// Wildcard for recv(): match any tag.
 inline constexpr int kAnyTag = -1;
 
+/// Dynamic perturbation of the interconnect (tlb::fault). The default
+/// state is exactly the unfaulted link.
+struct LinkFault {
+  double latency_mult = 1.0;    ///< multiplies the link latency
+  double bandwidth_mult = 1.0;  ///< multiplies the link bandwidth (< 1 = slower)
+  sim::SimTime jitter_max = 0.0;  ///< extra per-message delay in [0, jitter_max)
+  double loss_rate = 0.0;         ///< probability a transmission attempt is lost
+
+  [[nodiscard]] bool degrades_cost() const {
+    return latency_mult != 1.0 || bandwidth_mult != 1.0 || jitter_max > 0.0;
+  }
+  [[nodiscard]] bool any() const { return degrades_cost() || loss_rate > 0.0; }
+};
+
+/// Retransmission policy for lost messages: attempt k (0-based) that is
+/// lost is retried after timeout * backoff^k. The final attempt always
+/// succeeds (the virtual link is fail-slow, not fail-stop), which bounds
+/// the delay a message can suffer and keeps the simulation live.
+struct RetryPolicy {
+  sim::SimTime timeout = 1e-3;  ///< initial retransmit timeout
+  double backoff = 2.0;         ///< exponential backoff factor (>= 1)
+  int max_attempts = 8;         ///< total transmission attempts (>= 1)
+};
+
 struct Message {
   RankId source = 0;
   int tag = 0;
   std::uint64_t bytes = 0;
   sim::SimTime sent_at = 0.0;
   sim::SimTime delivered_at = 0.0;
+  std::uint64_t seq = 0;  ///< per-(src,dst)-channel sequence number
+  int attempts = 1;       ///< transmission attempts needed (1 = no loss)
 };
 
 class Communicator {
@@ -53,9 +92,30 @@ class Communicator {
     return rank_to_node_.at(static_cast<std::size_t>(r));
   }
 
-  /// Cost model for a single transfer between two ranks.
+  /// Nominal (unfaulted) cost model for a single transfer between two ranks.
   [[nodiscard]] sim::SimTime transfer_cost(RankId src, RankId dst,
                                            std::uint64_t bytes) const;
+
+  // --- fault injection (tlb::fault) ------------------------------------------
+
+  /// Installs the current link perturbation (latency/bandwidth multipliers,
+  /// jitter, loss). A default-constructed LinkFault restores the nominal
+  /// link. Intra-node (shared-memory) transfers are never perturbed.
+  void set_link_fault(const LinkFault& fault) { fault_ = fault; }
+  [[nodiscard]] const LinkFault& link_fault() const { return fault_; }
+
+  /// Seeds the RNG used for loss and jitter draws (deterministic runs).
+  void set_fault_seed(std::uint64_t seed) { rng_.emplace(seed); }
+
+  void set_retry_policy(const RetryPolicy& policy);
+  [[nodiscard]] const RetryPolicy& retry_policy() const { return retry_; }
+
+  /// Transmission attempts that were lost (each triggers a retransmit).
+  [[nodiscard]] std::uint64_t messages_lost() const { return lost_count_; }
+  /// Retransmissions performed (== messages_lost(): every loss is retried).
+  [[nodiscard]] std::uint64_t retransmissions() const { return lost_count_; }
+
+  // --- point-to-point ---------------------------------------------------------
 
   /// Non-blocking send. `on_delivered` (optional) fires at the sender-side
   /// completion time, which equals the arrival time at the receiver (eager
@@ -68,6 +128,8 @@ class Communicator {
   /// `tag` may be kAnyTag.
   void recv(RankId dst, RankId src, int tag,
             std::function<void(const Message&)> cb);
+
+  // --- collectives ------------------------------------------------------------
 
   /// Collective barrier: every rank must call once per barrier generation;
   /// all callbacks fire at the same simulated time, arrival-of-last plus a
@@ -106,6 +168,17 @@ class Communicator {
     std::deque<Message> unexpected;
     std::deque<PostedRecv> posted;
   };
+  struct Held {
+    Message msg;
+    std::function<void(const Message&)> on_delivered;
+  };
+  /// Per-(src, dst) ordered-delivery state.
+  struct Channel {
+    std::uint64_t next_send_seq = 0;
+    std::uint64_t next_deliver_seq = 0;
+    sim::SimTime last_arrival = 0.0;  ///< FIFO: no overtaking on the wire
+    std::map<std::uint64_t, Held> held;  ///< arrived out of order
+  };
   struct Collective {
     int arrived = 0;
     double accum = 0.0;
@@ -118,7 +191,24 @@ class Communicator {
     RankId root = 0;
   };
 
-  void deliver(RankId dst, Message msg);
+  /// Schedules transmission attempt `msg.attempts` of `msg`; on loss,
+  /// re-schedules itself after the backoff timeout.
+  void transmit(RankId dst, Message msg,
+                std::function<void(const Message&)> on_delivered);
+  /// Arrival at the receiver: enforce sequence order, then hand to match().
+  void arrive(RankId dst, Message msg,
+              std::function<void(const Message&)> on_delivered);
+  void match(RankId dst, const Message& msg);
+  [[nodiscard]] Channel& channel(RankId src, RankId dst) {
+    return channels_[static_cast<std::size_t>(src) *
+                         static_cast<std::size_t>(size()) +
+                     static_cast<std::size_t>(dst)];
+  }
+  [[nodiscard]] sim::Rng& rng();
+  /// Transfer cost with the active link fault applied (inter-node only).
+  [[nodiscard]] sim::SimTime faulted_cost(RankId src, RankId dst,
+                                          std::uint64_t bytes);
+
   [[nodiscard]] static bool matches(const PostedRecv& r, const Message& m) {
     return (r.src == kAnySource || r.src == m.source) &&
            (r.tag == kAnyTag || r.tag == m.tag);
@@ -129,14 +219,17 @@ class Communicator {
   sim::LinkSpec link_;
   std::vector<int> rank_to_node_;
   std::vector<Mailbox> mailboxes_;
-  // FIFO enforcement: last scheduled arrival per (src, dst) channel.
-  std::vector<std::vector<sim::SimTime>> last_arrival_;
+  std::vector<Channel> channels_;
+  LinkFault fault_;
+  RetryPolicy retry_;
+  std::optional<sim::Rng> rng_;
   Collective barrier_state_;
   Collective reduce_state_;
   Collective bcast_state_;
   Collective gather_state_;
   std::uint64_t sent_count_ = 0;
   std::uint64_t bytes_count_ = 0;
+  std::uint64_t lost_count_ = 0;
 };
 
 }  // namespace tlb::vmpi

@@ -204,6 +204,16 @@ TEST(ClusterSpec, HomogeneousTotals) {
   EXPECT_DOUBLE_EQ(spec.total_capacity(), 192.0);
 }
 
+TEST(ClusterSpec, WithSpeedsAppliesEachOverride) {
+  const auto spec =
+      ClusterSpec::with_speeds(4, 16, {{1, 0.5}, {3, 2.0}});
+  EXPECT_DOUBLE_EQ(spec.nodes[0].speed, 1.0);
+  EXPECT_DOUBLE_EQ(spec.nodes[1].speed, 0.5);
+  EXPECT_DOUBLE_EQ(spec.nodes[2].speed, 1.0);
+  EXPECT_DOUBLE_EQ(spec.nodes[3].speed, 2.0);
+  EXPECT_DOUBLE_EQ(spec.total_capacity(), 16.0 * (1.0 + 0.5 + 1.0 + 2.0));
+}
+
 TEST(ClusterSpec, SlowNodeCapacity) {
   const auto spec = ClusterSpec::with_slow_node(4, 16, 0, 0.6);
   EXPECT_DOUBLE_EQ(spec.nodes[0].speed, 0.6);

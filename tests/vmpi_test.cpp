@@ -172,5 +172,103 @@ TEST(Vmpi, SingleRankBarrierIsImmediatelyReleased) {
   EXPECT_DOUBLE_EQ(f.engine.now(), 0.0);  // log2(1) = 0 rounds
 }
 
+TEST(Vmpi, WildcardRecvsDrainSameTimestampDeliveries) {
+  // Two messages from different sources on the same node arrive at the
+  // same simulated instant; wildcard receives must match both, in the
+  // engine's FIFO tie order (send order).
+  Fixture f;
+  auto comm = f.make({0, 0, 0});  // all intra-node: identical cost
+  std::vector<int> sources;
+  comm.recv(2, kAnySource, kAnyTag,
+            [&](const Message& m) { sources.push_back(m.source); });
+  comm.recv(2, kAnySource, kAnyTag,
+            [&](const Message& m) { sources.push_back(m.source); });
+  comm.send(0, 2, 5, 64);
+  comm.send(1, 2, 5, 64);
+  f.engine.run();
+  EXPECT_EQ(sources, (std::vector<int>{0, 1}));
+}
+
+TEST(Vmpi, ChannelFifoSurvivesRetransmits) {
+  // With heavy message loss, retransmitted messages must not overtake
+  // later ones of the same channel: delivery stays in send order.
+  Fixture f;
+  auto comm = f.make({0, 1});
+  LinkFault fault;
+  fault.loss_rate = 0.4;
+  comm.set_fault_seed(123);
+  comm.set_link_fault(fault);
+  constexpr int kMessages = 30;
+  std::vector<int> order;
+  for (int i = 0; i < kMessages; ++i) {
+    comm.recv(1, 0, kAnyTag, [&](const Message& m) { order.push_back(m.tag); });
+    comm.send(0, 1, i, 256);
+  }
+  f.engine.run();
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kMessages));
+  for (int i = 0; i < kMessages; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  EXPECT_GT(comm.retransmissions(), 0u);  // the loss rate did bite
+  EXPECT_EQ(comm.messages_lost(), comm.retransmissions());
+}
+
+TEST(Vmpi, NearCertainLossDeliversWithinMaxAttempts) {
+  // The link is fail-slow: the final attempt always succeeds, so even a
+  // near-certain loss rate delivers within RetryPolicy::max_attempts.
+  Fixture f;
+  auto comm = f.make({0, 1});
+  LinkFault fault;
+  fault.loss_rate = 0.99;
+  comm.set_fault_seed(7);
+  comm.set_link_fault(fault);
+  int attempts = 0;
+  comm.recv(1, 0, 0, [&](const Message& m) { attempts = m.attempts; });
+  comm.send(0, 1, 0, 64);
+  f.engine.run();
+  EXPECT_GT(attempts, 1);
+  EXPECT_LE(attempts, comm.retry_policy().max_attempts);
+}
+
+TEST(Vmpi, BarrierWaitsForDelayedStraggler) {
+  Fixture f;
+  auto comm = f.make({0, 1, 2});
+  std::vector<sim::SimTime> times(3, -1.0);
+  comm.barrier(0, [&] { times[0] = f.engine.now(); });
+  comm.barrier(1, [&] { times[1] = f.engine.now(); });
+  f.engine.at(5.0, [&] {
+    comm.barrier(2, [&] { times[2] = f.engine.now(); });
+  });
+  f.engine.run();
+  // Released together, no earlier than the straggler's arrival.
+  EXPECT_DOUBLE_EQ(times[0], times[1]);
+  EXPECT_DOUBLE_EQ(times[0], times[2]);
+  EXPECT_NEAR(times[0], 5.0 + 2 * f.link.latency, 1e-12);
+}
+
+TEST(Vmpi, DegradedLinkScalesTransferCost) {
+  Fixture f;
+  auto comm = f.make({0, 1});
+  constexpr std::uint64_t kBytes = 1'000'000;
+  sim::SimTime clean = -1.0;
+  comm.recv(1, 0, 0, [&](const Message& m) { clean = m.delivered_at; });
+  comm.send(0, 1, 0, kBytes);
+  f.engine.run();
+
+  LinkFault fault;
+  fault.latency_mult = 2.0;
+  fault.bandwidth_mult = 0.5;
+  comm.set_link_fault(fault);
+  const sim::SimTime degraded_start = f.engine.now();
+  sim::SimTime degraded = -1.0;
+  comm.recv(1, 0, 0, [&](const Message& m) { degraded = m.delivered_at; });
+  comm.send(0, 1, 0, kBytes);
+  f.engine.run();
+
+  const sim::SimTime clean_cost = clean;  // sent at t = 0
+  const sim::SimTime degraded_cost = degraded - degraded_start;
+  EXPECT_NEAR(degraded_cost,
+              2.0 * f.link.latency + kBytes / (0.5 * f.link.bandwidth), 1e-12);
+  EXPECT_GT(degraded_cost, clean_cost * 1.9);
+}
+
 }  // namespace
 }  // namespace tlb::vmpi
