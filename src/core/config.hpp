@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "core/policies.hpp"
+#include "resil/config.hpp"
 #include "sim/cluster_spec.hpp"
 #include "sim/time.hpp"
 
@@ -42,6 +43,12 @@ struct RuntimeConfig {
   /// Damps the allocate/starve oscillation when iteration times are of
   /// the same order as the policy period. 0 = no smoothing.
   double busy_smoothing = 0.5;
+
+  /// Failure detection and graceful degradation (tlb::resil). The default
+  /// (DetectionMode::Oracle) keeps the legacy announce-by-fiat behaviour
+  /// bit-identical; DetectionMode::Heartbeat turns on phi-accrual
+  /// heartbeats, task leases, and outlier quarantine.
+  resil::ResilConfig resil;
 
   std::uint64_t seed = 42;       ///< expander generation seed
   bool record_traces = true;     ///< keep busy/owned series for figures

@@ -125,10 +125,35 @@ OwnershipPlan local_convergence_plan(const Topology& topo,
   return plan;
 }
 
+OwnershipPlan static_ownership_plan(const Topology& topo,
+                                    const std::vector<int>& node_cores,
+                                    const std::vector<char>* alive) {
+  OwnershipPlan plan(static_cast<std::size_t>(topo.node_count()));
+  for (int n = 0; n < topo.node_count(); ++n) {
+    std::vector<WorkerId> residents;
+    for (WorkerId w : topo.workers_on_node(n)) {
+      if (alive == nullptr || (*alive)[static_cast<std::size_t>(w)]) {
+        residents.push_back(w);
+      }
+    }
+    assert(!residents.empty() && "node lost every resident worker");
+    // All-zero weights make proportional_split fall back to an even split.
+    const std::vector<double> weight(residents.size(), 0.0);
+    const auto counts =
+        proportional_split(weight, node_cores[static_cast<std::size_t>(n)]);
+    auto& node_plan = plan[static_cast<std::size_t>(n)];
+    for (std::size_t i = 0; i < residents.size(); ++i) {
+      node_plan.emplace_back(residents[i], counts[i]);
+    }
+  }
+  return plan;
+}
+
 OwnershipPlan global_solver_plan(const Topology& topo,
                                  const std::vector<int>& node_cores,
                                  const std::vector<double>& busy,
-                                 const std::vector<char>* alive) {
+                                 const std::vector<char>* alive,
+                                 int iteration_limit, bool* converged) {
   // With crashed workers masked out, the solve runs over the reduced
   // bipartite graph whose edges are the surviving workers (slot order is
   // preserved, so each apprank's home edge stays first — home workers
@@ -160,7 +185,9 @@ OwnershipPlan global_solver_plan(const Topology& topo,
     }
     problem.work[static_cast<std::size_t>(a)] = total;
   }
+  problem.iteration_limit = iteration_limit;
   const auto solution = solver::solve_allocation(problem);
+  if (converged != nullptr) *converged = solution.converged;
 
   OwnershipPlan plan(static_cast<std::size_t>(topo.node_count()));
   for (int a = 0; a < topo.apprank_count(); ++a) {

@@ -36,7 +36,29 @@ struct RunResult {
   std::uint64_t messages_lost = 0;     ///< transmissions lost on the wire
   std::uint64_t retransmissions = 0;   ///< retry attempts after losses
 
+  // Failure detection / graceful degradation (tlb::resil; all zero in
+  // DetectionMode::Oracle).
+  std::uint64_t heartbeat_messages = 0;   ///< heartbeats sent on ctrl plane
+  std::uint64_t detections = 0;           ///< true suspicions (worker was dead)
+  std::uint64_t false_suspicions = 0;     ///< suspicions of live workers
+  double detection_latency_sum = 0.0;     ///< sum over true detections
+  std::uint64_t lease_retransmits = 0;    ///< offload copies re-sent
+  std::uint64_t lease_expiries = 0;       ///< leases that exhausted attempts
+  std::uint64_t duplicates_suppressed = 0;  ///< stale completions dropped
+  std::uint64_t quarantine_ejections = 0;
+  std::uint64_t quarantine_readmissions = 0;
+  std::uint64_t policy_downshifts = 0;    ///< solver fallback-chain drops
+  std::uint64_t rewired_edges = 0;        ///< expander edges added post-crash
+
   std::uint64_t events_fired = 0;      ///< simulator events (diagnostic)
+
+  /// Mean observed failure-detection latency (true detections only);
+  /// negative when nothing was detected.
+  [[nodiscard]] double mean_detection_latency() const {
+    return detections > 0
+               ? detection_latency_sum / static_cast<double>(detections)
+               : -1.0;
+  }
 
   [[nodiscard]] double offload_fraction() const {
     return work_total > 0.0 ? work_offloaded / work_total : 0.0;

@@ -2,17 +2,23 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <stdexcept>
 #include <string>
-#include <limits>
+#include <utility>
+
+#include "metrics/recovery.hpp"
+#include "solver/allocation.hpp"
 
 namespace tlb::core {
 
 namespace {
 
 /// Control-plane message tags (ctrl_comm_).
-constexpr int kTagOffload = 1;   ///< home -> helper: task assignment
-constexpr int kTagComplete = 2;  ///< helper -> home: task completion
+constexpr int kTagOffload = 1;    ///< home -> helper: task assignment
+constexpr int kTagComplete = 2;   ///< helper -> home: task completion
+constexpr int kTagHeartbeat = 3;  ///< helper -> home: phi-accrual heartbeat
+constexpr int kTagAck = 4;        ///< helper -> home: offload acknowledgment
 
 // Tags for deriving independent child RNG streams from RuntimeConfig::seed
 // (the expander consumes the seed directly).
@@ -76,6 +82,21 @@ ClusterRuntime::ClusterRuntime(RuntimeConfig config)
   node_speed_.reserve(config_.cluster.nodes.size());
   for (const auto& n : config_.cluster.nodes) node_speed_.push_back(n.speed);
   alive_.assign(static_cast<std::size_t>(topology_->worker_count()), 1);
+  suspected_.assign(static_cast<std::size_t>(topology_->worker_count()), 0);
+  last_heartbeat_.assign(static_cast<std::size_t>(topology_->worker_count()),
+                         -1.0);
+  crashed_at_.assign(static_cast<std::size_t>(topology_->worker_count()),
+                     -1.0);
+  if (resil_active()) {
+    detectors_.reserve(static_cast<std::size_t>(topology_->worker_count()));
+    for (int w = 0; w < topology_->worker_count(); ++w) {
+      detectors_.emplace_back(config_.resil.phi_window,
+                              config_.resil.phi_min_std);
+    }
+    quarantine_ = std::make_unique<resil::Quarantine>(
+        topology_->worker_count(), config_.resil);
+  }
+  policy_level_ = config_.policy == PolicyKind::Global ? 0 : 1;
 
   node_cores_.reserve(static_cast<std::size_t>(topology_->node_count()));
   lewi_.reserve(node_cores_.capacity());
@@ -131,6 +152,7 @@ RunResult ClusterRuntime::run(Workload& workload) {
   }
 
   if (config_.drom_active()) schedule_policy_tick();
+  if (resil_active()) start_heartbeats();
   start_iteration_all();
   engine_.run();
 
@@ -245,13 +267,14 @@ int ClusterRuntime::pick_worker(const nanos::Task& task) const {
   const auto& loc = *appranks_[static_cast<std::size_t>(task.apprank)].locations;
 
   // Locality-best node: most input bytes already resident; home wins ties.
-  // Crashed workers are never candidates (home workers cannot crash).
+  // Crashed and quarantined workers are never candidates (home workers
+  // cannot crash and are never quarantined).
   WorkerId best = ws.front();
   if (ws.size() > 1 && !task.accesses.empty()) {
     std::uint64_t best_bytes =
         loc.resident_input_bytes(task.accesses, topology_->worker(best).node);
     for (std::size_t j = 1; j < ws.size(); ++j) {
-      if (!alive_[static_cast<std::size_t>(ws[j])]) continue;
+      if (!usable(ws[j])) continue;
       const std::uint64_t b = loc.resident_input_bytes(
           task.accesses, topology_->worker(ws[j]).node);
       if (b > best_bytes) {
@@ -266,8 +289,7 @@ int ClusterRuntime::pick_worker(const nanos::Task& task) const {
   WorkerId alt = -1;
   double best_ratio = std::numeric_limits<double>::infinity();
   for (WorkerId w : ws) {
-    if (w == best || !alive_[static_cast<std::size_t>(w)] ||
-        !under_threshold(w)) {
+    if (w == best || !usable(w) || !under_threshold(w)) {
       continue;
     }
     const double ratio =
@@ -300,7 +322,7 @@ void ClusterRuntime::on_task_ready(nanos::TaskId id) {
 void ClusterRuntime::assign_to_worker(nanos::TaskId id, WorkerId w) {
   nanos::Task& task = pool_.get(id);
   const WorkerInfo& info = topology_->worker(w);
-  assert(alive_[static_cast<std::size_t>(w)]);
+  assert(usable(w));
   task.state = nanos::TaskState::Scheduled;
   task.scheduled_node = info.node;
   workers_[static_cast<std::size_t>(w)].inflight += 1;
@@ -316,6 +338,17 @@ void ClusterRuntime::assign_to_worker(nanos::TaskId id, WorkerId w) {
   }
   ++result_.control_messages;
   workers_[static_cast<std::size_t>(w)].pending += 1;
+  if (resil_active()) {
+    // Lease/ACK protocol (tlb::resil): the assignment is covered by an
+    // epoch-stamped lease; the offload must be acknowledged within the
+    // lease timeout or it is retransmitted with capped backoff.
+    resil::LeaseRecord& lease = leases_.grant(id, w, engine_.now());
+    send_offload(id, w, lease.epoch);
+    lease.timer =
+        engine_.after(resil::LeaseTable::backoff_delay(config_.resil, 1),
+                      [this, id] { on_lease_timeout(id); });
+    return;
+  }
   const WorkerId home = topology_->home_worker(task.apprank);
   ctrl_comm_->send(home, w, kTagOffload, 0,
                    [this, id, w](const vmpi::Message&) {
@@ -352,7 +385,7 @@ void ClusterRuntime::finish_assignment(nanos::TaskId id, WorkerId w) {
 }
 
 void ClusterRuntime::dispatch(WorkerId w) {
-  if (!alive_[static_cast<std::size_t>(w)]) return;
+  if (!usable(w)) return;
   const WorkerInfo& info = topology_->worker(w);
   dlb::NodeCores& nc = *node_cores_[static_cast<std::size_t>(info.node)];
   WorkerState& ws = workers_[static_cast<std::size_t>(w)];
@@ -403,19 +436,28 @@ void ClusterRuntime::start_task(nanos::TaskId id, WorkerId w, int core) {
   }
   const sim::SimTime compute = task.work / speed;
 
-  RunningTask run;
+  RunningExec run;
+  run.task = id;
   run.worker = w;
   run.node = info.node;
   run.core = core;
+  if (resil_active()) {
+    if (const resil::LeaseRecord* lease = leases_.find(id)) {
+      assert(lease->worker == w);
+      run.epoch = lease->epoch;
+    }
+  }
+  const std::uint64_t exec_id = next_exec_++;
 
   // Busy accounting covers the compute phase only: a core waiting for data
   // is occupied but not busy (the paper's borrowed-core under-utilisation).
   if (transfer_wait > 0.0) {
     run.busy_event = engine_.after(
-        transfer_wait, [this, id, w, node = info.node, apprank = info.apprank] {
+        transfer_wait,
+        [this, exec_id, w, node = info.node, apprank = info.apprank] {
           talp_->on_busy_delta(w, +1);
           recorder_->busy_delta(engine_.now(), node, apprank, +1);
-          auto it = running_.find(id);
+          auto it = running_.find(exec_id);
           assert(it != running_.end());
           it->second.busy_applied = true;
         });
@@ -424,69 +466,104 @@ void ClusterRuntime::start_task(nanos::TaskId id, WorkerId w, int core) {
     recorder_->busy_delta(engine_.now(), info.node, info.apprank, +1);
     run.busy_applied = true;
   }
-  run.finish_event = engine_.after(
-      transfer_wait + compute,
-      [this, id, w, node = info.node, core] {
-        on_task_finished(id, w, node, core);
-      });
-  running_.emplace(id, run);
+  run.finish_event = engine_.after(transfer_wait + compute, [this, exec_id] {
+    on_task_finished(exec_id);
+  });
+  running_.emplace(exec_id, run);
 }
 
-void ClusterRuntime::on_task_finished(nanos::TaskId id, WorkerId w, int node,
-                                      int core) {
-  nanos::Task& task = pool_.get(id);
+void ClusterRuntime::on_task_finished(std::uint64_t exec_id) {
+  auto itr = running_.find(exec_id);
+  assert(itr != running_.end());
+  const RunningExec run = itr->second;
+  running_.erase(itr);
+  const WorkerId w = run.worker;
+  const int node = run.node;
   const WorkerInfo& info = topology_->worker(w);
-  task.finish_at = engine_.now();
-  running_.erase(id);  // completion can no longer be voided by a crash
+  nanos::Task& task = pool_.get(run.task);
 
   talp_->on_busy_delta(w, -1);
   recorder_->busy_delta(engine_.now(), node, info.apprank, -1);
-  node_cores_[static_cast<std::size_t>(node)]->task_finished(core);
+  node_cores_[static_cast<std::size_t>(node)]->task_finished(run.core);
+
+  if (run.ghost) {
+    // Disowned execution (its lease was revoked after a suspicion): it
+    // frees its core and reports a completion that names a stale epoch —
+    // the home runtime suppresses it. No scheduler state moves here; the
+    // task itself was already re-queued elsewhere.
+    ++result_.control_messages;
+    const WorkerId home_w = topology_->home_worker(info.apprank);
+    ctrl_comm_->send(w, home_w, kTagComplete, 0,
+                     [this, id = run.task, w, epoch = run.epoch](
+                         const vmpi::Message&) { on_completion(id, w, epoch); });
+    ctrl_comm_->recv(home_w, vmpi::kAnySource, vmpi::kAnyTag,
+                     [](const vmpi::Message&) {});
+    kick_node(node);
+    return;
+  }
+
+  task.finish_at = engine_.now();
   workers_[static_cast<std::size_t>(w)].inflight -= 1;
 
   const int apprank = task.apprank;
   const int home = topology_->home_node(apprank);
   recorder_->task_executed(apprank, node, home, task.work);
-
-  ApprankState& st = appranks_[static_cast<std::size_t>(apprank)];
-  st.locations->task_executed(task.accesses, node);
+  appranks_[static_cast<std::size_t>(apprank)].locations->task_executed(
+      task.accesses, node);
 
   // Dependency release and taskwait accounting happen on the apprank's
   // home runtime instance; a remote completion needs a control message.
-  auto complete = [this, id, apprank] {
-    ApprankState& state = appranks_[static_cast<std::size_t>(apprank)];
-    const auto ready = state.deps->on_task_finished(id);
-    std::vector<int> touched;
-    for (nanos::TaskId r : ready) {
-      nanos::Task& rt = pool_.get(r);
-      rt.ready_at = engine_.now();
-      on_task_ready(r);
-      if (rt.state == nanos::TaskState::Scheduled) {
-        touched.push_back(rt.scheduled_node);
-      }
-    }
-    assert(state.outstanding > 0);
-    if (--state.outstanding == 0) {
-      enter_barrier(apprank);
-    }
-    std::sort(touched.begin(), touched.end());
-    touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
-    for (int n : touched) kick_node(n);
-  };
   if (node != home) {
-    // Completion notification back to the apprank's home runtime; travels
-    // the control plane like any other runtime message.
     ++result_.control_messages;
     const WorkerId home_w = topology_->home_worker(apprank);
-    ctrl_comm_->send(w, home_w, kTagComplete, 0,
-                     [complete](const vmpi::Message&) { complete(); });
+    if (resil_active()) {
+      // The completion names its lease epoch so the home runtime can tell
+      // a current execution from a zombie's (exactly-once accounting).
+      resil::LeaseRecord* lease = leases_.find(run.task);
+      if (lease != nullptr && lease->worker == w &&
+          lease->epoch == run.epoch) {
+        lease->completion_in_flight = true;
+      }
+      ctrl_comm_->send(w, home_w, kTagComplete, 0,
+                       [this, id = run.task, w, epoch = run.epoch](
+                           const vmpi::Message&) {
+                         on_completion(id, w, epoch);
+                       });
+    } else {
+      ctrl_comm_->send(w, home_w, kTagComplete, 0,
+                       [this, id = run.task](const vmpi::Message&) {
+                         complete_task(id);
+                       });
+    }
     ctrl_comm_->recv(home_w, vmpi::kAnySource, vmpi::kAnyTag,
                      [](const vmpi::Message&) {});
   } else {
-    complete();
+    complete_task(run.task);
   }
 
   kick_node(node);
+}
+
+void ClusterRuntime::complete_task(nanos::TaskId id) {
+  const int apprank = pool_.get(id).apprank;
+  ApprankState& state = appranks_[static_cast<std::size_t>(apprank)];
+  const auto ready = state.deps->on_task_finished(id);
+  std::vector<int> touched;
+  for (nanos::TaskId r : ready) {
+    nanos::Task& rt = pool_.get(r);
+    rt.ready_at = engine_.now();
+    on_task_ready(r);
+    if (rt.state == nanos::TaskState::Scheduled) {
+      touched.push_back(rt.scheduled_node);
+    }
+  }
+  assert(state.outstanding > 0);
+  if (--state.outstanding == 0) {
+    enter_barrier(apprank);
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  for (int n : touched) kick_node(n);
 }
 
 void ClusterRuntime::kick_node(int node) {
@@ -494,14 +571,19 @@ void ClusterRuntime::kick_node(int node) {
   dlb::LewiModule& lw = *lewi_[static_cast<std::size_t>(node)];
   const auto& residents = topology_->workers_on_node(node);
 
+  // Crashed and quarantined workers take no new work: their backlog reads
+  // as zero, so they reclaim and borrow nothing and lend what they hold.
   auto backlog_of = [this](WorkerId w) -> int {
+    if (!usable(w)) return 0;
     const WorkerState& ws = workers_[static_cast<std::size_t>(w)];
     const ApprankState& st =
         appranks_[static_cast<std::size_t>(topology_->worker(w).apprank)];
     return static_cast<int>(ws.queue.size() + st.central.size()) + ws.pending;
   };
 
-  // Crashed workers take no further part in scheduling.
+  // Only the crash itself removes a worker from DLB's node-local view
+  // (shared memory dies with the process); quarantine is a scheduler-side
+  // verdict and must not touch a possibly-alive worker's cores directly.
   auto is_alive = [this](WorkerId w) {
     return alive_[static_cast<std::size_t>(w)] != 0;
   };
@@ -546,16 +628,19 @@ void ClusterRuntime::schedule_policy_tick() {
 
 void ClusterRuntime::policy_tick() {
   if (done_) return;
-  if (busy_smoothed_.empty()) {
-    busy_smoothed_.assign(static_cast<std::size_t>(topology_->worker_count()),
+  if (busy_smoothed_.size() <
+      static_cast<std::size_t>(topology_->worker_count())) {
+    // First tick, or the topology gained a worker through a rewire.
+    busy_smoothed_.resize(static_cast<std::size_t>(topology_->worker_count()),
                           0.0);
   }
   const double s = config_.busy_smoothing;
   std::vector<double> busy(static_cast<std::size_t>(topology_->worker_count()));
   for (int w = 0; w < topology_->worker_count(); ++w) {
     auto& ema = busy_smoothed_[static_cast<std::size_t>(w)];
-    if (!alive_[static_cast<std::size_t>(w)]) {
-      // Crashed worker: no residual demand must leak into the plans.
+    if (!usable(w)) {
+      // Crashed or quarantined worker: no residual demand must leak into
+      // the plans.
       ema = 0.0;
     } else {
       ema = s * ema + (1.0 - s) * talp_->window_average(w);
@@ -568,14 +653,58 @@ void ClusterRuntime::policy_tick() {
   node_core_counts.reserve(config_.cluster.nodes.size());
   for (const auto& n : config_.cluster.nodes) node_core_counts.push_back(n.cores);
 
-  // The alive mask is only passed once a worker has died, so a fault-free
-  // run takes exactly the pre-fault code path.
-  const std::vector<char>* mask = any_worker_dead() ? &alive_ : nullptr;
+  // The mask is only passed once a worker is dead or quarantined, so a
+  // fault-free run takes exactly the pre-fault code path.
+  std::vector<char> usable_mask;
+  const std::vector<char>* mask = nullptr;
+  if (any_worker_unusable()) {
+    usable_mask.resize(static_cast<std::size_t>(topology_->worker_count()));
+    for (int w = 0; w < topology_->worker_count(); ++w) {
+      usable_mask[static_cast<std::size_t>(w)] = usable(w) ? 1 : 0;
+    }
+    mask = &usable_mask;
+  }
+
+  // Solver fallback chain (tlb::resil): global solve -> local convergence
+  // -> static proportional split. Each rung is strictly more robust and
+  // strictly less informed than the one above it.
   OwnershipPlan plan;
-  if (config_.policy == PolicyKind::Local) {
-    plan = local_convergence_plan(*topology_, node_core_counts, busy, mask);
-  } else {
-    plan = global_solver_plan(*topology_, node_core_counts, busy, mask);
+  int level = config_.policy == PolicyKind::Global ? 0 : 1;
+  if (level == 0) {
+    const resil::ResilConfig& rc = config_.resil;
+    if (rc.solver_time_budget > 0.0 &&
+        config_.solver_latency > rc.solver_time_budget) {
+      level = 1;  // the modelled solve cost exceeds the wall-clock budget
+    } else {
+      try {
+        bool converged = true;
+        plan = global_solver_plan(*topology_, node_core_counts, busy, mask,
+                                  rc.solver_iteration_budget, &converged);
+        if (rc.solver_iteration_budget > 0 && !converged) level = 1;
+      } catch (const solver::InfeasibleAllocation&) {
+        level = 1;
+      }
+    }
+  }
+  if (level == 1) {
+    try {
+      plan = local_convergence_plan(*topology_, node_core_counts, busy, mask);
+    } catch (const std::exception&) {
+      level = 2;
+    }
+  }
+  if (level == 2) {
+    plan = static_ownership_plan(*topology_, node_core_counts, mask);
+  }
+  if (level != policy_level_) {
+    if (level > policy_level_) {
+      ++result_.policy_downshifts;
+      mark_trace(level == 1 ? "policy downshift: global -> local"
+                            : "policy downshift: -> static ownership");
+    } else {
+      mark_trace("policy restored");
+    }
+    policy_level_ = level;
   }
 
   if (config_.policy == PolicyKind::Global && config_.solver_latency > 0.0) {
@@ -589,13 +718,13 @@ void ClusterRuntime::policy_tick() {
 }
 
 void ClusterRuntime::apply_plan(const OwnershipPlan& plan) {
-  // A plan computed before a crash (e.g. held back by solver_latency) may
-  // still grant cores to a dead worker; drop it — crash_worker already
-  // triggered a fresh solve over the reduced graph.
+  // A plan computed before a crash or suspicion (e.g. held back by
+  // solver_latency) may still grant cores to an unusable worker; drop it —
+  // the crash/suspicion already triggered a fresh solve.
   for (const auto& node_plan : plan) {
     for (const auto& [w, count] : node_plan) {
       (void)count;
-      if (!alive_[static_cast<std::size_t>(w)]) return;
+      if (!usable(w)) return;
     }
   }
   for (int n = 0; n < topology_->node_count(); ++n) {
@@ -620,6 +749,13 @@ void ClusterRuntime::record_ownership() {
 bool ClusterRuntime::any_worker_dead() const {
   for (char a : alive_) {
     if (!a) return true;
+  }
+  return false;
+}
+
+bool ClusterRuntime::any_worker_unusable() const {
+  for (std::size_t w = 0; w < alive_.size(); ++w) {
+    if (!alive_[w] || suspected_[w]) return true;
   }
   return false;
 }
@@ -653,11 +789,12 @@ void ClusterRuntime::mark_trace(const std::string& label) {
   recorder_->mark(engine_.now(), label);
 }
 
-void ClusterRuntime::rescue_task(nanos::TaskId id, WorkerId from) {
+void ClusterRuntime::rescue_task(nanos::TaskId id, WorkerId from,
+                                 bool charge_worker) {
   nanos::Task& task = pool_.get(id);
   assert(task.state == nanos::TaskState::Scheduled ||
          task.state == nanos::TaskState::Running);
-  workers_[static_cast<std::size_t>(from)].inflight -= 1;
+  if (charge_worker) workers_[static_cast<std::size_t>(from)].inflight -= 1;
   task.state = nanos::TaskState::Ready;
   task.scheduled_node = -1;
   task.data_ready_at = 0.0;
@@ -673,20 +810,23 @@ void ClusterRuntime::crash_worker(WorkerId w) {
          "only helper ranks may crash; the apprank process is the app");
   if (!alive_[static_cast<std::size_t>(w)] || done_) return;
   alive_[static_cast<std::size_t>(w)] = 0;
+  crashed_at_[static_cast<std::size_t>(w)] = engine_.now();
   ++result_.workers_crashed;
 
   const int node = info.node;
   dlb::NodeCores& nc = *node_cores_[static_cast<std::size_t>(node)];
 
   // 1. Abort the tasks executing on the crashed worker: cancel their
-  // completion events, undo busy accounting, free their cores.
+  // completion events, undo busy accounting, free their cores. The ordered
+  // exec-id map walks executions in start order, so the re-queue order is
+  // identical on every standard-library implementation.
   std::vector<nanos::TaskId> lost;
   for (auto it = running_.begin(); it != running_.end();) {
     if (it->second.worker != w) {
       ++it;
       continue;
     }
-    RunningTask& run = it->second;
+    RunningExec& run = it->second;
     engine_.cancel(run.finish_event);
     if (run.busy_applied) {
       talp_->on_busy_delta(w, -1);
@@ -695,18 +835,22 @@ void ClusterRuntime::crash_worker(WorkerId w) {
       engine_.cancel(run.busy_event);
     }
     nc.task_finished(run.core);
-    lost.push_back(it->first);
+    if (!run.ghost) lost.push_back(run.task);
     it = running_.erase(it);
   }
 
-  // 2. Tasks assigned but not yet started are lost with the worker's queue.
+  // 2. Tasks assigned but not yet started die with the worker's queue.
   WorkerState& ws = workers_[static_cast<std::size_t>(w)];
-  for (nanos::TaskId id : ws.queue) lost.push_back(id);
+  if (!resil_active()) {
+    for (nanos::TaskId id : ws.queue) lost.push_back(id);
+  }
   ws.queue.clear();
 
   // 3. Evict the worker from core ownership: its cores move to the
   // surviving residents (DROM invariant: every core keeps exactly one
-  // owner), and cores it had borrowed return to their owners.
+  // owner), and cores it had borrowed return to their owners. This is
+  // node-local: DLB's shared-memory view sees the process die instantly,
+  // independent of any cluster-wide detection.
   std::vector<WorkerId> survivors;
   for (WorkerId r : topology_->workers_on_node(node)) {
     if (alive_[static_cast<std::size_t>(r)]) survivors.push_back(r);
@@ -722,19 +866,372 @@ void ClusterRuntime::crash_worker(WorkerId w) {
   }
   record_ownership();
 
-  // 4. Re-queue the lost tasks; each is re-executed exactly once (the
+  if (resil_active()) {
+    // Heartbeat detection: the crash is *not* announced to the home
+    // runtimes. The worker merely falls silent; its leases stay open
+    // (in-flight/pending accounting untouched) until heartbeat silence or
+    // lease expiry makes suspect_worker observe the failure. Only the
+    // node-local capacity freed above is re-usable immediately.
+    kick_node(node);
+    return;
+  }
+
+  // Oracle recovery: the failure is known cluster-wide the instant it
+  // happens.
+  // 4. If the crash disconnected the apprank from every helper, re-wire
+  // the expander with a replacement helper before re-queueing.
+  maybe_rewire(info.apprank);
+
+  // 5. Re-queue the lost tasks; each is re-executed exactly once (the
   // scheduler never picks a dead worker again). Rescued tasks can land on
   // any adjacent node, so kick them all.
   for (nanos::TaskId id : lost) rescue_task(id, w);
   for (int n = 0; n < topology_->node_count(); ++n) kick_node(n);
 
-  // 5. Fresh policy solve over the reduced offloading graph, without
+  // 6. Fresh policy solve over the reduced offloading graph, without
   // waiting for the next periodic tick.
   if (config_.drom_active() && !done_) {
     engine_.cancel(policy_event_);
     policy_event_ = sim::kInvalidEvent;
     policy_tick();
   }
+}
+
+// --- failure detection / graceful degradation (tlb::resil) --------------------
+
+void ClusterRuntime::start_heartbeats() {
+  const sim::SimTime period = config_.resil.heartbeat_period;
+  assert(period > 0.0);
+  for (int w = 0; w < topology_->worker_count(); ++w) {
+    if (topology_->worker(w).is_home) continue;
+    // Deterministic stagger: first beats spread over one period so the
+    // control plane is not hit by a synchronized burst (no RNG — the
+    // phase is a pure function of the worker id).
+    const sim::SimTime phase =
+        period * (w + 1) / (topology_->worker_count() + 1);
+    engine_.after(phase, [this, w] { send_heartbeat(w); });
+  }
+  engine_.after(period, [this] { detector_sweep(); });
+}
+
+void ClusterRuntime::send_heartbeat(WorkerId w) {
+  if (done_ || !alive_[static_cast<std::size_t>(w)]) return;  // fell silent
+  ++result_.heartbeat_messages;
+  const WorkerId home = topology_->home_worker(topology_->worker(w).apprank);
+  ctrl_comm_->send(w, home, kTagHeartbeat, 0,
+                   [this, w](const vmpi::Message&) { on_heartbeat(w); });
+  ctrl_comm_->recv(home, vmpi::kAnySource, vmpi::kAnyTag,
+                   [](const vmpi::Message&) {});
+  engine_.after(config_.resil.heartbeat_period,
+                [this, w] { send_heartbeat(w); });
+}
+
+void ClusterRuntime::on_heartbeat(WorkerId w) {
+  if (done_) return;
+  last_heartbeat_[static_cast<std::size_t>(w)] = engine_.now();
+  detectors_[static_cast<std::size_t>(w)].heartbeat(engine_.now());
+}
+
+void ClusterRuntime::detector_sweep() {
+  if (done_) return;
+  const sim::SimTime now = engine_.now();
+  for (int w = 0; w < topology_->worker_count(); ++w) {
+    if (topology_->worker(w).is_home ||
+        suspected_[static_cast<std::size_t>(w)]) {
+      continue;
+    }
+    const resil::PhiAccrualDetector& det =
+        detectors_[static_cast<std::size_t>(w)];
+    if (det.started()) {
+      if (det.phi(now) > config_.resil.phi_threshold) suspect_worker(w);
+    } else {
+      // Bootstrap: no inter-arrival distribution yet (the worker died —
+      // or its link degraded — before two heartbeats arrived). Judge the
+      // silence against the configured period instead.
+      const sim::SimTime since =
+          now - std::max(0.0, last_heartbeat_[static_cast<std::size_t>(w)]);
+      if (since >
+          config_.resil.phi_threshold * config_.resil.heartbeat_period) {
+        suspect_worker(w);
+      }
+    }
+  }
+  engine_.after(config_.resil.heartbeat_period, [this] { detector_sweep(); });
+}
+
+void ClusterRuntime::send_offload(nanos::TaskId id, WorkerId w,
+                                  std::uint64_t epoch) {
+  const WorkerId home = topology_->home_worker(pool_.get(id).apprank);
+  ctrl_comm_->send(home, w, kTagOffload, 0,
+                   [this, id, w, epoch](const vmpi::Message&) {
+                     on_offload_delivered(id, w, epoch);
+                   });
+  ctrl_comm_->recv(w, vmpi::kAnySource, vmpi::kAnyTag,
+                   [](const vmpi::Message&) {});
+}
+
+void ClusterRuntime::on_offload_delivered(nanos::TaskId id, WorkerId w,
+                                          std::uint64_t epoch) {
+  if (done_) return;
+  if (!alive_[static_cast<std::size_t>(w)]) return;  // delivered into a corpse
+  resil::LeaseRecord* lease = leases_.find(id);
+  const bool current =
+      lease != nullptr && lease->worker == w && lease->epoch == epoch;
+  if (!current) {
+    // Stale copy at a live worker: the home runtime has already re-queued
+    // the task elsewhere (the lease moved on), but the helper cannot know
+    // that. It executes the task as a zombie; the completion it eventually
+    // reports names the stale epoch and is suppressed. Modelled off-book —
+    // the zombie burns time, not scheduler state.
+    const nanos::Task& task = pool_.get(id);
+    const double speed =
+        node_speed_[static_cast<std::size_t>(topology_->worker(w).node)];
+    engine_.after(task.work / speed, [this, id, w, epoch] {
+      if (done_ || !alive_[static_cast<std::size_t>(w)]) return;
+      ++result_.control_messages;
+      const WorkerId home_w = topology_->home_worker(pool_.get(id).apprank);
+      ctrl_comm_->send(w, home_w, kTagComplete, 0,
+                       [this, id, w, epoch](const vmpi::Message&) {
+                         on_completion(id, w, epoch);
+                       });
+      ctrl_comm_->recv(home_w, vmpi::kAnySource, vmpi::kAnyTag,
+                       [](const vmpi::Message&) {});
+    });
+    return;
+  }
+  if (lease->helper_received) {
+    // Duplicate copy (a retransmit raced the original): just re-ACK.
+    send_ack(id, w, epoch);
+    return;
+  }
+  lease->helper_received = true;
+  workers_[static_cast<std::size_t>(w)].pending -= 1;
+  send_ack(id, w, epoch);
+  finish_assignment(id, w);
+  kick_node(topology_->worker(w).node);
+}
+
+void ClusterRuntime::send_ack(nanos::TaskId id, WorkerId w,
+                              std::uint64_t epoch) {
+  ++result_.control_messages;
+  const WorkerId home = topology_->home_worker(pool_.get(id).apprank);
+  ctrl_comm_->send(w, home, kTagAck, 0,
+                   [this, id, w, epoch](const vmpi::Message&) {
+                     on_ack(id, w, epoch);
+                   });
+  ctrl_comm_->recv(home, vmpi::kAnySource, vmpi::kAnyTag,
+                   [](const vmpi::Message&) {});
+}
+
+void ClusterRuntime::on_ack(nanos::TaskId id, WorkerId w,
+                            std::uint64_t epoch) {
+  if (done_) return;
+  resil::LeaseRecord* lease = leases_.find(id);
+  if (lease == nullptr || lease->worker != w || lease->epoch != epoch) {
+    return;  // stale ACK for a lease that has moved on
+  }
+  if (lease->acked) return;
+  lease->acked = true;
+  engine_.cancel(lease->timer);
+  lease->timer = sim::kInvalidEvent;
+  quarantine_->record_success(w);
+}
+
+void ClusterRuntime::on_lease_timeout(nanos::TaskId id) {
+  if (done_) return;
+  resil::LeaseRecord* lease = leases_.find(id);
+  if (lease == nullptr || lease->acked) return;  // settled meanwhile
+  const WorkerId w = lease->worker;
+  if (lease->attempts < config_.resil.lease_max_attempts) {
+    lease->attempts += 1;
+    ++result_.lease_retransmits;
+    ++result_.control_messages;
+    send_offload(id, w, lease->epoch);
+    lease->timer = engine_.after(
+        resil::LeaseTable::backoff_delay(config_.resil, lease->attempts),
+        [this, id] { on_lease_timeout(id); });
+    return;
+  }
+  // Attempts exhausted: the lease expires. The task moves elsewhere; the
+  // worker moves towards quarantine.
+  ++result_.lease_expiries;
+  lease->timer = sim::kInvalidEvent;
+  if (quarantine_->record_expiry(w) &&
+      !suspected_[static_cast<std::size_t>(w)]) {
+    suspect_worker(w);  // re-queues every lease on w, including this one
+  } else if (!suspected_[static_cast<std::size_t>(w)]) {
+    requeue_leased_task(id);
+    kick_node(topology_->worker(w).node);
+  }
+}
+
+void ClusterRuntime::on_completion(nanos::TaskId id, WorkerId w,
+                                   std::uint64_t epoch) {
+  if (done_) return;
+  resil::LeaseRecord* lease = leases_.find(id);
+  if (lease == nullptr || lease->worker != w || lease->epoch != epoch) {
+    // Zombie or otherwise stale completion: the lease moved on (the task
+    // was re-queued, possibly already completed elsewhere). Suppressing it
+    // here is what makes completion accounting exactly-once at the home
+    // runtime.
+    ++result_.duplicates_suppressed;
+    return;
+  }
+  engine_.cancel(lease->timer);
+  leases_.revoke(id);
+  quarantine_->record_success(w);
+  complete_task(id);
+}
+
+void ClusterRuntime::requeue_leased_task(nanos::TaskId id) {
+  resil::LeaseRecord* lease = leases_.find(id);
+  assert(lease != nullptr);
+  const WorkerId w = lease->worker;
+  engine_.cancel(lease->timer);
+  if (!lease->helper_received) {
+    // The offload never arrived; retire the pre-claimed slot.
+    workers_[static_cast<std::size_t>(w)].pending -= 1;
+  }
+  // Drop the task from the helper's queue if it had not started there.
+  auto& q = workers_[static_cast<std::size_t>(w)].queue;
+  q.erase(std::remove(q.begin(), q.end(), id), q.end());
+  // Disown a live execution into a ghost: it keeps burning its core until
+  // it finishes, but its completion will name a stale epoch.
+  for (auto& [eid, run] : running_) {
+    (void)eid;
+    if (run.task == id && run.worker == w && !run.ghost &&
+        run.epoch == lease->epoch) {
+      run.ghost = true;
+    }
+  }
+  const bool settled = lease->completion_in_flight;
+  leases_.revoke(id);
+  // When the helper already finished (its completion is in flight and will
+  // be suppressed), the worker's in-flight accounting was settled at
+  // finish time; charging it again would double-count.
+  rescue_task(id, w, /*charge_worker=*/!settled);
+}
+
+void ClusterRuntime::suspect_worker(WorkerId w) {
+  if (done_ || suspected_[static_cast<std::size_t>(w)]) return;
+  const WorkerInfo& info = topology_->worker(w);
+  assert(!info.is_home && "home workers are never suspected");
+  suspected_[static_cast<std::size_t>(w)] = 1;
+
+  // Detection verdict: real failure or false suspicion?
+  if (!alive_[static_cast<std::size_t>(w)]) {
+    ++result_.detections;
+    const double latency =
+        engine_.now() - crashed_at_[static_cast<std::size_t>(w)];
+    result_.detection_latency_sum += latency;
+    if (recovery_series_ != nullptr) {
+      recovery_series_->record_detection(engine_.now(), w, true, latency);
+    }
+    mark_trace("detected crash of worker " + std::to_string(w));
+  } else {
+    ++result_.false_suspicions;
+    if (recovery_series_ != nullptr) {
+      recovery_series_->record_detection(engine_.now(), w, false, 0.0);
+    }
+    mark_trace("false suspicion of worker " + std::to_string(w));
+  }
+
+  // Outlier ejection (Envoy-style): out of pick_worker candidacy until the
+  // cooling period ends, then probed back in.
+  ++result_.quarantine_ejections;
+  const sim::SimTime cooled = quarantine_->eject(w, engine_.now());
+  engine_.at(cooled, [this, w] { probe_worker(w); });
+
+  // Re-queue everything leased to the suspect, in ascending task-id order.
+  for (const std::uint64_t id : leases_.tasks_on(w)) {
+    requeue_leased_task(static_cast<nanos::TaskId>(id));
+  }
+
+  // If the suspicion disconnected the apprank from every helper, re-wire.
+  maybe_rewire(info.apprank);
+
+  // Immediate policy re-solve over the usable workers, then let every node
+  // pick up the re-queued work.
+  if (config_.drom_active() && !done_) {
+    engine_.cancel(policy_event_);
+    policy_event_ = sim::kInvalidEvent;
+    policy_tick();
+  }
+  for (int n = 0; n < topology_->node_count(); ++n) kick_node(n);
+}
+
+void ClusterRuntime::probe_worker(WorkerId w) {
+  if (done_ || !suspected_[static_cast<std::size_t>(w)]) return;
+  // The probe is a liveness check: has the worker produced a heartbeat
+  // since it was ejected?
+  if (alive_[static_cast<std::size_t>(w)] &&
+      last_heartbeat_[static_cast<std::size_t>(w)] >
+          quarantine_->ejected_at(w)) {
+    suspected_[static_cast<std::size_t>(w)] = 0;
+    quarantine_->readmit(w);
+    // Forget pre-ejection inter-arrival history (it includes the silence
+    // that caused the ejection and would poison the fresh estimate).
+    detectors_[static_cast<std::size_t>(w)].reset();
+    ++result_.quarantine_readmissions;
+    mark_trace("readmitted worker " + std::to_string(w));
+    if (config_.drom_active() && !done_) {
+      engine_.cancel(policy_event_);
+      policy_event_ = sim::kInvalidEvent;
+      policy_tick();
+    }
+    return;
+  }
+  // Still silent: extend the quarantine with a longer (capped) cooling.
+  const sim::SimTime next = quarantine_->extend(w, engine_.now());
+  engine_.at(next, [this, w] { probe_worker(w); });
+}
+
+void ClusterRuntime::maybe_rewire(int apprank) {
+  if (!config_.resil.rewire_on_disconnect || done_) return;
+  const auto& ws = topology_->workers_of_apprank(apprank);
+  if (ws.size() < 2) return;  // degree-1 appranks never offload
+  for (WorkerId w : ws) {
+    if (!topology_->worker(w).is_home && usable(w)) return;  // still connected
+  }
+
+  // Replacement helper on the node with the most spare worker capacity.
+  std::vector<int> spare(static_cast<std::size_t>(topology_->node_count()));
+  for (int n = 0; n < topology_->node_count(); ++n) {
+    spare[static_cast<std::size_t>(n)] =
+        config_.cluster.nodes[static_cast<std::size_t>(n)].cores -
+        static_cast<int>(topology_->workers_on_node(n).size());
+  }
+  const int node = graph::pick_replacement_node(expander_.graph, apprank, spare);
+  if (node < 0) {
+    mark_trace("rewire failed: no node with spare capacity");
+    return;
+  }
+
+  // Thread the new helper through every layer: graph edge, topology slot,
+  // control-plane rank, TALP/quarantine/detector state, runtime vectors.
+  expander_.graph.add_edge(apprank, node);
+  const WorkerId w = topology_->add_worker(apprank, node);
+  const vmpi::RankId rank = ctrl_comm_->add_rank(node);
+  (void)rank;
+  assert(rank == w && "control-plane ranks mirror worker ids");
+  talp_->add_worker();
+  workers_.emplace_back();
+  alive_.push_back(1);
+  suspected_.push_back(0);
+  last_heartbeat_.push_back(-1.0);
+  crashed_at_.push_back(-1.0);
+  if (!busy_smoothed_.empty()) busy_smoothed_.push_back(0.0);
+  if (resil_active()) {
+    detectors_.emplace_back(config_.resil.phi_window, config_.resil.phi_min_std);
+    quarantine_->add_worker();
+    engine_.after(config_.resil.heartbeat_period,
+                  [this, w] { send_heartbeat(w); });
+  }
+  ++result_.rewired_edges;
+  mark_trace("rewired apprank " + std::to_string(apprank) + " -> node " +
+             std::to_string(node));
+  // The new worker owns no cores yet; the policy re-solve that follows the
+  // crash/suspicion grants it at least one (it is unpickable until then).
 }
 
 }  // namespace tlb::core

@@ -11,22 +11,30 @@
 //   - eager data transfers priced by the interconnect model, no automatic
 //     write-back (§3.2), pull-to-home at MPI boundaries (§4).
 //
-// Resilience and perturbation hooks (tlb::fault): node speeds and the
-// interconnect can be perturbed mid-run, helper ranks can crash — their
-// in-flight tasks are detected lost and re-executed elsewhere, their cores
-// return to the surviving workers, and the allocation policy re-solves over
-// the reduced offloading graph. Runtime control messages (offload / finish
-// notifications) travel over a vmpi communicator so they experience link
-// degradation and message loss like any other traffic.
+// Resilience (tlb::fault + tlb::resil): node speeds and the interconnect
+// can be perturbed mid-run and helper ranks can crash. Two detection modes:
+//   - Oracle (default, legacy): crash_worker performs the full recovery
+//     immediately — lost tasks re-queued, cores returned, policy re-solved.
+//   - Heartbeat: failures are *observed*. Helpers send phi-accrual
+//     heartbeats over the control plane (so they see link faults); remote
+//     assignments carry leases that are acknowledged or retransmitted with
+//     capped backoff and eventually re-queued elsewhere; suspected workers
+//     are quarantined out of scheduler candidacy and probed back in after
+//     cooling; stale completions from falsely-suspected "zombie" workers
+//     are suppressed so every task counts exactly once; the DROM policy
+//     degrades global -> local -> static when the solver is infeasible or
+//     over budget; and the expander is re-wired with a fresh helper when a
+//     crash disconnects an apprank from all of its helpers.
 //
 // One ClusterRuntime instance performs one execution (construct anew per
 // run); traces and statistics remain readable afterwards.
 #pragma once
 
+#include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/config.hpp"
@@ -41,9 +49,17 @@
 #include "nanos/data_location.hpp"
 #include "nanos/dependency_graph.hpp"
 #include "nanos/task.hpp"
+#include "resil/config.hpp"
+#include "resil/lease.hpp"
+#include "resil/phi_detector.hpp"
+#include "resil/quarantine.hpp"
 #include "sim/engine.hpp"
 #include "trace/recorder.hpp"
 #include "vmpi/comm.hpp"
+
+namespace tlb::metrics {
+class RecoverySeries;
+}
 
 namespace tlb::core {
 
@@ -92,13 +108,39 @@ class ClusterRuntime {
   }
 
   /// Fail-stop crash of a helper rank (home ranks cannot crash: the
-  /// apprank process is the application). Its queued and running tasks are
-  /// detected lost and re-queued for execution elsewhere, its cores are
-  /// returned to the surviving workers on the node, and the DROM policy
-  /// re-solves immediately over the reduced adjacency.
+  /// apprank process is the application). Under Oracle detection the full
+  /// recovery happens immediately; under Heartbeat detection the worker
+  /// merely falls silent and recovery waits for the runtime to *observe*
+  /// the failure (lease expiry / heartbeat phi). Idempotent: crashing a
+  /// dead worker is a no-op.
   void crash_worker(WorkerId w);
   [[nodiscard]] bool worker_alive(WorkerId w) const {
     return alive_.at(static_cast<std::size_t>(w)) != 0;
+  }
+  /// True while `w` sits in outlier quarantine (suspected, ejected from
+  /// pick_worker candidacy).
+  [[nodiscard]] bool worker_quarantined(WorkerId w) const {
+    return suspected_.at(static_cast<std::size_t>(w)) != 0;
+  }
+
+  /// Offload control messages still in flight towards `w` (diagnostic:
+  /// must be zero after run() returns).
+  [[nodiscard]] int worker_pending(WorkerId w) const {
+    return workers_.at(static_cast<std::size_t>(w)).pending;
+  }
+  [[nodiscard]] int worker_inflight(WorkerId w) const {
+    return workers_.at(static_cast<std::size_t>(w)).inflight;
+  }
+  /// Remote assignments currently covered by a lease (diagnostic: zero
+  /// after run() returns).
+  [[nodiscard]] std::size_t outstanding_leases() const {
+    return leases_.size();
+  }
+
+  /// Attaches a RecoverySeries that receives detection verdicts (true /
+  /// false suspicions with latency) as the run observes failures.
+  void set_recovery_series(metrics::RecoverySeries* series) {
+    recovery_series_ = series;
   }
 
   /// Annotates the trace timeline at the current simulated time.
@@ -113,13 +155,22 @@ class ClusterRuntime {
     /// these tasks are about to need.
     int pending = 0;
   };
-  /// Bookkeeping for a task currently executing, so a worker crash can
-  /// cancel its completion and rebook its busy accounting.
-  struct RunningTask {
+  /// Bookkeeping for one execution attempt of a task. Keyed by a monotone
+  /// exec id in an ordered map, so crash handling iterates executions in
+  /// start order — byte-identical re-queue order on every standard
+  /// library. Under Heartbeat detection one task can have several live
+  /// executions (a disowned "ghost" plus its replacement).
+  struct RunningExec {
+    nanos::TaskId task = nanos::kNoTask;
     WorkerId worker = -1;
     int node = -1;
     int core = -1;
     bool busy_applied = false;  ///< busy +1 already recorded (data arrived)
+    /// Execution disowned after its lease was revoked (false suspicion):
+    /// it runs to completion, frees its core, and its completion message
+    /// is suppressed at the home runtime.
+    bool ghost = false;
+    std::uint64_t epoch = 0;  ///< lease epoch at start (0 = home/unleased)
     sim::EventId busy_event = sim::kInvalidEvent;
     sim::EventId finish_event = sim::kInvalidEvent;
   };
@@ -144,7 +195,10 @@ class ClusterRuntime {
   void assign_to_worker(nanos::TaskId id, WorkerId w);
   void finish_assignment(nanos::TaskId id, WorkerId w);
   void start_task(nanos::TaskId id, WorkerId w, int core);
-  void on_task_finished(nanos::TaskId id, WorkerId w, int node, int core);
+  void on_task_finished(std::uint64_t exec_id);
+  /// Home-side completion bookkeeping: dependency release, taskwait
+  /// accounting, barrier entry.
+  void complete_task(nanos::TaskId id);
   void kick_node(int node);
   void dispatch(WorkerId w);
   [[nodiscard]] int owned_cores(WorkerId w) const;
@@ -152,11 +206,46 @@ class ClusterRuntime {
   [[nodiscard]] int pick_worker(const nanos::Task& task) const;
 
   // Fault handling (tlb::fault).
-  /// Re-queues a task whose assignment to `from` was voided by a crash.
-  void rescue_task(nanos::TaskId id, WorkerId from);
+  /// Re-queues a task whose assignment to `from` was voided by a crash or
+  /// suspicion. `charge_worker` = false when the worker's inflight count
+  /// was already settled (its execution completed before the suspicion).
+  void rescue_task(nanos::TaskId id, WorkerId from, bool charge_worker = true);
   /// Point-to-point transfer cost with the active link fault applied.
   [[nodiscard]] sim::SimTime faulted_transfer_time(std::uint64_t bytes);
   [[nodiscard]] bool any_worker_dead() const;
+
+  // Failure detection / graceful degradation (tlb::resil).
+  [[nodiscard]] bool resil_active() const {
+    return config_.resil.heartbeat_active();
+  }
+  /// Alive and not quarantined: eligible for pick_worker / LeWI backlog.
+  [[nodiscard]] bool usable(WorkerId w) const {
+    return alive_[static_cast<std::size_t>(w)] != 0 &&
+           suspected_[static_cast<std::size_t>(w)] == 0;
+  }
+  [[nodiscard]] bool any_worker_unusable() const;
+  void start_heartbeats();
+  void send_heartbeat(WorkerId w);
+  void on_heartbeat(WorkerId w);
+  void detector_sweep();
+  void send_offload(nanos::TaskId id, WorkerId w, std::uint64_t epoch);
+  void on_offload_delivered(nanos::TaskId id, WorkerId w, std::uint64_t epoch);
+  void send_ack(nanos::TaskId id, WorkerId w, std::uint64_t epoch);
+  void on_ack(nanos::TaskId id, WorkerId w, std::uint64_t epoch);
+  void on_lease_timeout(nanos::TaskId id);
+  void on_completion(nanos::TaskId id, WorkerId w, std::uint64_t epoch);
+  /// Revokes the lease on `id` and re-queues the task elsewhere; disowns a
+  /// live execution into a ghost when one exists.
+  void requeue_leased_task(nanos::TaskId id);
+  /// Ejects `w` into quarantine, re-queues everything it leased, records
+  /// the detection verdict, and re-solves the policy.
+  void suspect_worker(WorkerId w);
+  /// End-of-cooling probe: readmit if heartbeats resumed, else re-eject
+  /// with a longer cooling period.
+  void probe_worker(WorkerId w);
+  /// Adds a replacement helper edge when `apprank` has no usable helper
+  /// left (expander rewire across graph / topology / vmpi / DLB layers).
+  void maybe_rewire(int apprank);
 
   // DROM policy loop (§5.4).
   void schedule_policy_tick();
@@ -169,8 +258,9 @@ class ClusterRuntime {
   graph::ExpanderResult expander_;
   std::unique_ptr<Topology> topology_;
   std::unique_ptr<vmpi::Communicator> app_comm_;  ///< appranks only
-  /// Runtime control plane: one rank per worker process; offload and
-  /// completion notifications travel here (and thus see link faults).
+  /// Runtime control plane: one rank per worker process; offload /
+  /// completion / heartbeat / ack messages travel here (and thus see link
+  /// faults).
   std::unique_ptr<vmpi::Communicator> ctrl_comm_;
   std::vector<std::unique_ptr<dlb::NodeCores>> node_cores_;
   std::vector<std::unique_ptr<dlb::LewiModule>> lewi_;
@@ -191,9 +281,21 @@ class ClusterRuntime {
   // Fault state (tlb::fault).
   std::vector<double> node_speed_;  ///< current speed factor per node
   std::vector<char> alive_;         ///< per-worker liveness (1 = alive)
-  std::unordered_map<nanos::TaskId, RunningTask> running_;
+  std::map<std::uint64_t, RunningExec> running_;  ///< keyed by exec id
+  std::uint64_t next_exec_ = 0;
   vmpi::LinkFault link_fault_;
   sim::Rng fault_rng_ = sim::Rng(0);  ///< reseeded from config_.seed
+
+  // Detection state (tlb::resil; detectors/quarantine only instantiated
+  // under DetectionMode::Heartbeat).
+  resil::LeaseTable leases_;
+  std::vector<resil::PhiAccrualDetector> detectors_;  ///< per worker
+  std::unique_ptr<resil::Quarantine> quarantine_;
+  std::vector<char> suspected_;           ///< 1 = quarantined
+  std::vector<sim::SimTime> last_heartbeat_;  ///< arrival times (-1 = none)
+  std::vector<sim::SimTime> crashed_at_;      ///< physical crash (-1 = alive)
+  int policy_level_ = 0;  ///< fallback rung: 0 primary, 1 local, 2 static
+  metrics::RecoverySeries* recovery_series_ = nullptr;
 };
 
 }  // namespace tlb::core

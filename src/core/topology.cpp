@@ -28,6 +28,23 @@ Topology::Topology(const graph::BipartiteGraph& g, int appranks_per_node)
   }
 }
 
+WorkerId Topology::add_worker(int apprank, int node) {
+  assert(graph_->has_edge(apprank, node) &&
+         "add the graph edge before registering the worker");
+  assert(worker_of(apprank, node) == -1 && "worker already exists");
+  WorkerInfo info;
+  info.apprank = apprank;
+  info.node = node;
+  info.slot =
+      static_cast<int>(by_apprank_.at(static_cast<std::size_t>(apprank)).size());
+  info.is_home = false;
+  const WorkerId w = static_cast<WorkerId>(workers_.size());
+  workers_.push_back(info);
+  by_apprank_[static_cast<std::size_t>(apprank)].push_back(w);
+  by_node_[static_cast<std::size_t>(node)].push_back(w);
+  return w;
+}
+
 WorkerId Topology::worker_of(int apprank, int node) const {
   for (WorkerId w : workers_of_apprank(apprank)) {
     if (worker(w).node == node) return w;

@@ -52,6 +52,12 @@ class Topology {
   /// Worker of apprank `a` on node `n`, or -1 when not adjacent.
   [[nodiscard]] WorkerId worker_of(int apprank, int node) const;
 
+  /// Registers a helper worker added mid-run by an expander rewire
+  /// (tlb::resil). The corresponding edge must already have been added to
+  /// the bipartite graph (as the apprank's last adjacency slot). Returns
+  /// the new worker's id.
+  WorkerId add_worker(int apprank, int node);
+
   [[nodiscard]] const graph::BipartiteGraph& graph() const { return *graph_; }
 
  private:

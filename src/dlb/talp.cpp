@@ -12,6 +12,12 @@ TalpModule::TalpModule(std::function<sim::SimTime()> now, int worker_count)
   for (State& s : state_) s.last = t;
 }
 
+void TalpModule::add_worker() {
+  State s;
+  s.last = now_();
+  state_.push_back(s);
+}
+
 void TalpModule::accumulate(State& s) const {
   const sim::SimTime t = now_();
   const double dt = t - s.last;

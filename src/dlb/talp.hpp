@@ -20,6 +20,10 @@ class TalpModule {
   /// accounting tables.
   TalpModule(std::function<sim::SimTime()> now, int worker_count);
 
+  /// Grows the accounting tables for a worker added mid-run (expander
+  /// rewire, tlb::resil); the newcomer starts idle with no history.
+  void add_worker();
+
   /// A task started (+1) or finished (-1) on a core leased to `w`.
   void on_busy_delta(int worker, int delta);
 

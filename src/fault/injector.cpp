@@ -19,6 +19,9 @@ FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
 void FaultInjector::attach(core::ClusterRuntime& rt,
                            metrics::RecoverySeries* recovery) {
   plan_.validate();
+  // Let the runtime report detection verdicts (true/false suspicions with
+  // latency, tlb::resil) into the same series as the injections.
+  rt.set_recovery_series(recovery);
   const auto& events = plan_.events();
   active_.assign(events.size(), 0);
   saved_speed_.assign(events.size(), 1.0);

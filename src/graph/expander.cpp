@@ -265,4 +265,19 @@ std::optional<BipartiteGraph> parse(const std::string& text) {
   return g;
 }
 
+int pick_replacement_node(const BipartiteGraph& g, int apprank,
+                          const std::vector<int>& spare) {
+  int best = -1;
+  int best_spare = 0;
+  for (int n = 0; n < g.right_count(); ++n) {
+    if (g.has_edge(apprank, n)) continue;
+    const int s = spare[static_cast<std::size_t>(n)];
+    if (s > best_spare) {
+      best = n;
+      best_spare = s;
+    }
+  }
+  return best;
+}
+
 }  // namespace tlb::graph

@@ -62,6 +62,15 @@ constexpr int home_node(int apprank, int appranks_per_node) {
   return apprank / appranks_per_node;
 }
 
+/// Picks a node for a replacement helper edge when a crash disconnects
+/// `apprank` from all of its helpers (tlb::resil expander rewire).
+/// Candidates are nodes not already adjacent to the apprank with spare
+/// worker capacity (`spare[n]` = cores minus resident workers, > 0); the
+/// node with the most spare capacity wins, lowest id on ties, so the
+/// choice is deterministic. Returns -1 when no node qualifies.
+int pick_replacement_node(const BipartiteGraph& g, int apprank,
+                          const std::vector<int>& spare);
+
 /// Serialises a graph to a compact text form ("stored for future
 /// executions", paper §5.2) and parses it back. parse returns std::nullopt
 /// on malformed input.

@@ -13,6 +13,31 @@ void RecoverySeries::record(double t, std::string label, bool is_recovery) {
   events_.push_back(Perturbation{t, std::move(label), is_recovery});
 }
 
+void RecoverySeries::record_detection(double t, int worker,
+                                      bool true_positive, double latency) {
+  detections_.push_back(Detection{t, worker, true_positive, latency});
+}
+
+double RecoverySeries::mean_detection_latency() const {
+  double sum = 0.0;
+  int count = 0;
+  for (const Detection& d : detections_) {
+    if (d.true_positive) {
+      sum += d.latency;
+      ++count;
+    }
+  }
+  return count > 0 ? sum / count : -1.0;
+}
+
+int RecoverySeries::false_positive_count() const {
+  int count = 0;
+  for (const Detection& d : detections_) {
+    if (!d.true_positive) ++count;
+  }
+  return count;
+}
+
 std::vector<RecoveryReport> RecoverySeries::analyse(
     const std::vector<const trace::StepSeries*>& node_busy, double t0,
     double t1, int bins, double threshold, int hold) const {

@@ -34,15 +34,38 @@ struct RecoveryReport {
   double goodput_lost = 0.0;
 };
 
+/// One failure-detection verdict issued by the runtime's heartbeat/lease
+/// machinery (tlb::resil). True positives carry the latency between the
+/// physical crash and its detection; false positives are suspicions of
+/// workers that were in fact alive (e.g. behind a link blackout).
+struct Detection {
+  double at = 0.0;
+  int worker = -1;
+  bool true_positive = false;
+  double latency = 0.0;  ///< detection - crash time (true positives only)
+};
+
 class RecoverySeries {
  public:
   /// Records a perturbation (or recovery) instant. Times must be
   /// non-decreasing; the FaultInjector calls this as events fire.
   void record(double t, std::string label, bool is_recovery = false);
 
+  /// Records a detection verdict (the runtime calls this when it suspects
+  /// a worker, tlb::resil). Lets fig12 report *detected* recovery time
+  /// next to the injected one.
+  void record_detection(double t, int worker, bool true_positive,
+                        double latency);
+
   [[nodiscard]] const std::vector<Perturbation>& events() const {
     return events_;
   }
+  [[nodiscard]] const std::vector<Detection>& detections() const {
+    return detections_;
+  }
+  /// Mean latency over true positives; negative when there are none.
+  [[nodiscard]] double mean_detection_latency() const;
+  [[nodiscard]] int false_positive_count() const;
   [[nodiscard]] bool empty() const { return events_.empty(); }
 
   /// Measures every recorded injection against the per-node busy traces
@@ -55,6 +78,7 @@ class RecoverySeries {
 
  private:
   std::vector<Perturbation> events_;
+  std::vector<Detection> detections_;
 };
 
 }  // namespace tlb::metrics

@@ -1,0 +1,59 @@
+#include "resil/phi_detector.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace tlb::resil {
+
+PhiAccrualDetector::PhiAccrualDetector(int window, double min_std)
+    : window_(static_cast<std::size_t>(std::max(1, window))),
+      min_std_(min_std) {
+  assert(min_std > 0.0 && "phi needs a positive std floor");
+}
+
+void PhiAccrualDetector::heartbeat(sim::SimTime now) {
+  if (last_ >= 0.0) {
+    assert(now >= last_ && "heartbeats must arrive in time order");
+    intervals_.push_back(now - last_);
+    if (intervals_.size() > window_) intervals_.pop_front();
+  }
+  last_ = now;
+}
+
+double PhiAccrualDetector::mean() const {
+  if (intervals_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : intervals_) sum += v;
+  return sum / static_cast<double>(intervals_.size());
+}
+
+double PhiAccrualDetector::stddev() const {
+  if (intervals_.empty()) return min_std_;
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : intervals_) acc += (v - m) * (v - m);
+  const double var = acc / static_cast<double>(intervals_.size());
+  return std::max(min_std_, std::sqrt(var));
+}
+
+double PhiAccrualDetector::phi(sim::SimTime now) const {
+  if (!started()) return 0.0;
+  const double elapsed = now - last_;
+  if (elapsed <= 0.0) return 0.0;
+  // P(interval > elapsed) under N(mean, std): the complementary CDF.
+  const double z = (elapsed - mean()) / (stddev() * std::sqrt(2.0));
+  const double p = 0.5 * std::erfc(z);
+  // erfc underflows to 0 for z >~ 27; cap phi there (it is far beyond any
+  // sensible threshold anyway).
+  constexpr double kPhiMax = 350.0;
+  if (p <= 0.0) return kPhiMax;
+  return std::min(kPhiMax, -std::log10(p));
+}
+
+void PhiAccrualDetector::reset() {
+  intervals_.clear();
+  last_ = -1.0;
+}
+
+}  // namespace tlb::resil

@@ -1,0 +1,55 @@
+// Phi-accrual failure detector (Hayashibara et al., SRDS'04).
+//
+// Instead of a binary alive/dead verdict from a fixed timeout, the detector
+// outputs a continuous suspicion level
+//
+//   phi(t) = -log10 P(no heartbeat for (t - last_arrival) | history)
+//
+// where the inter-arrival distribution is estimated from a sliding window
+// of observed heartbeat gaps, modelled as a normal tail. The consumer
+// compares phi against a threshold: higher thresholds tolerate longer
+// silences (fewer false positives, slower detection). Because the
+// simulator is deterministic the sample variance can collapse to zero, so
+// the standard deviation is floored by `min_std`.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "sim/time.hpp"
+
+namespace tlb::resil {
+
+class PhiAccrualDetector {
+ public:
+  PhiAccrualDetector(int window, double min_std);
+
+  /// Records a heartbeat arrival at simulated time `now` (must be
+  /// non-decreasing across calls).
+  void heartbeat(sim::SimTime now);
+
+  /// Suspicion level at time `now`; 0 while fewer than two arrivals have
+  /// been observed (no distribution to judge silence against).
+  [[nodiscard]] double phi(sim::SimTime now) const;
+
+  /// True once at least two heartbeats have arrived.
+  [[nodiscard]] bool started() const { return !intervals_.empty(); }
+
+  [[nodiscard]] sim::SimTime last_arrival() const { return last_; }
+
+  /// Forgets all history (used when a quarantined worker is readmitted, so
+  /// stale pre-ejection gaps do not poison the fresh estimate).
+  void reset();
+
+  /// Window mean / floored standard deviation (diagnostic; 0 before start).
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+
+ private:
+  std::deque<double> intervals_;
+  std::size_t window_;
+  double min_std_;
+  sim::SimTime last_ = -1.0;  ///< last arrival; < 0 = none yet
+};
+
+}  // namespace tlb::resil

@@ -1,0 +1,59 @@
+#include "resil/quarantine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace tlb::resil {
+
+Quarantine::Quarantine(int worker_count, const ResilConfig& cfg)
+    : state_(static_cast<std::size_t>(worker_count)), cfg_(cfg) {}
+
+void Quarantine::add_worker() { state_.emplace_back(); }
+
+bool Quarantine::record_expiry(int w) {
+  State& s = state_.at(static_cast<std::size_t>(w));
+  s.streak += 1;
+  return s.streak >= cfg_.quarantine_threshold;
+}
+
+void Quarantine::record_success(int w) {
+  state_.at(static_cast<std::size_t>(w)).streak = 0;
+}
+
+sim::SimTime Quarantine::eject(int w, sim::SimTime now) {
+  State& s = state_.at(static_cast<std::size_t>(w));
+  assert(!s.ejected && "worker is already quarantined");
+  sim::SimTime cooling =
+      cfg_.quarantine_cooling * std::pow(cfg_.quarantine_backoff, s.ejections);
+  if (cfg_.quarantine_cooling_cap > 0.0) {
+    cooling = std::min(cooling, cfg_.quarantine_cooling_cap);
+  }
+  s.ejected = true;
+  s.ejections += 1;
+  s.ejected_at = now;
+  s.cooled_until = now + cooling;
+  return s.cooled_until;
+}
+
+sim::SimTime Quarantine::extend(int w, sim::SimTime now) {
+  State& s = state_.at(static_cast<std::size_t>(w));
+  assert(s.ejected && "extending a worker that is not quarantined");
+  sim::SimTime cooling =
+      cfg_.quarantine_cooling * std::pow(cfg_.quarantine_backoff, s.ejections);
+  if (cfg_.quarantine_cooling_cap > 0.0) {
+    cooling = std::min(cooling, cfg_.quarantine_cooling_cap);
+  }
+  s.ejections += 1;
+  s.cooled_until = now + cooling;
+  return s.cooled_until;
+}
+
+void Quarantine::readmit(int w) {
+  State& s = state_.at(static_cast<std::size_t>(w));
+  assert(s.ejected && "readmitting a worker that is not quarantined");
+  s.ejected = false;
+  s.streak = 0;
+}
+
+}  // namespace tlb::resil

@@ -130,8 +130,10 @@ AllocationResult solve_allocation(const AllocationProblem& p) {
     }
     t_lo = std::min(t_lo, t_hi);
 
+    const int iter_limit = p.iteration_limit > 0 ? p.iteration_limit : 100;
     if (!feasible_at(p, s, t_lo)) {
-      for (int iter = 0; iter < 100 && t_hi - t_lo > 1e-10 * t_hi; ++iter) {
+      int iter = 0;
+      for (; iter < iter_limit && t_hi - t_lo > 1e-10 * t_hi; ++iter) {
         const double mid = 0.5 * (t_lo + t_hi);
         if (feasible_at(p, s, mid)) {
           t_hi = mid;
@@ -139,6 +141,8 @@ AllocationResult solve_allocation(const AllocationProblem& p) {
           t_lo = mid;
         }
       }
+      result.iterations = iter;
+      result.converged = t_hi - t_lo <= 1e-10 * t_hi;
       t_star = t_hi;
     } else {
       t_star = t_lo;

@@ -32,8 +32,25 @@ Communicator::Communicator(sim::Engine& engine, sim::LinkSpec link,
 
 void Communicator::set_retry_policy(const RetryPolicy& policy) {
   assert(policy.timeout > 0.0 && policy.backoff >= 1.0 &&
-         policy.max_attempts >= 1);
+         policy.max_attempts >= 1 && policy.timeout_cap >= 0.0);
   retry_ = policy;
+}
+
+RankId Communicator::add_rank(int node) {
+  const int old_size = size();
+  rank_to_node_.push_back(node);
+  mailboxes_.emplace_back();
+  // channels_ is indexed src * size + dst; re-pack the old N x N table into
+  // the new (N+1) x (N+1) layout so in-flight sequence state survives.
+  const std::size_t n = static_cast<std::size_t>(old_size);
+  std::vector<Channel> grown((n + 1) * (n + 1));
+  for (std::size_t src = 0; src < n; ++src) {
+    for (std::size_t dst = 0; dst < n; ++dst) {
+      grown[src * (n + 1) + dst] = std::move(channels_[src * n + dst]);
+    }
+  }
+  channels_ = std::move(grown);
+  return old_size;
 }
 
 sim::Rng& Communicator::rng() {
@@ -87,8 +104,9 @@ void Communicator::transmit(RankId dst, Message msg,
     // Lost on the wire: the sender times out and retransmits with
     // exponential backoff (attempt k is retried after timeout*backoff^k).
     ++lost_count_;
-    const sim::SimTime wait =
+    sim::SimTime wait =
         retry_.timeout * std::pow(retry_.backoff, msg.attempts - 1);
+    if (retry_.timeout_cap > 0.0) wait = std::min(wait, retry_.timeout_cap);
     msg.attempts += 1;
     engine_.after(wait, [this, dst, msg = std::move(msg),
                          cb = std::move(on_delivered)]() mutable {

@@ -67,6 +67,9 @@ struct RetryPolicy {
   sim::SimTime timeout = 1e-3;  ///< initial retransmit timeout
   double backoff = 2.0;         ///< exponential backoff factor (>= 1)
   int max_attempts = 8;         ///< total transmission attempts (>= 1)
+  /// Upper bound on the backoff delay (capped exponential backoff);
+  /// 0 disables the cap (legacy unbounded growth).
+  sim::SimTime timeout_cap = 0.0;
 };
 
 struct Message {
@@ -88,6 +91,12 @@ class Communicator {
   [[nodiscard]] int size() const {
     return static_cast<int>(rank_to_node_.size());
   }
+
+  /// Adds a rank hosted on `node` mid-run (expander rewire after a crash).
+  /// Existing channel state — sequence numbers, in-flight FIFO deadlines,
+  /// held out-of-order messages — is preserved. Returns the new rank id.
+  RankId add_rank(int node);
+
   [[nodiscard]] int node_of(RankId r) const {
     return rank_to_node_.at(static_cast<std::size_t>(r));
   }

@@ -1,0 +1,490 @@
+// Tests of the failure-detection / graceful-degradation layer (tlb::resil):
+// phi-accrual detector, task leases with capped backoff, outlier
+// quarantine, heartbeat-mode crash recovery with exactly-once completion
+// accounting, link-blackout false-suspicion + readmission, the solver
+// fallback chain, and expander rewiring after a disconnecting crash.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "apps/synthetic.hpp"
+#include "core/policies.hpp"
+#include "core/runtime.hpp"
+#include "core/workload.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "metrics/recovery.hpp"
+#include "resil/lease.hpp"
+#include "resil/phi_detector.hpp"
+#include "resil/quarantine.hpp"
+
+namespace tlb {
+namespace {
+
+core::RuntimeConfig resil_cluster(int nodes, int cores, int degree) {
+  core::RuntimeConfig cfg;
+  cfg.cluster = sim::ClusterSpec::homogeneous(nodes, cores);
+  cfg.appranks_per_node = 1;
+  cfg.degree = degree;
+  cfg.policy = core::PolicyKind::Global;
+  return cfg;
+}
+
+apps::SyntheticConfig synth(int appranks, int iterations, int tasks,
+                            double imbalance) {
+  apps::SyntheticConfig scfg;
+  scfg.appranks = appranks;
+  scfg.iterations = iterations;
+  scfg.tasks_per_rank = tasks;
+  scfg.imbalance = imbalance;
+  return scfg;
+}
+
+/// Invariants every completed heartbeat-mode run must satisfy: every task
+/// finished (zero lost), nothing leased or pending any more, and the
+/// iteration count is exactly the configured one.
+void expect_all_work_done(const core::ClusterRuntime& rt,
+                          const core::RunResult& r, int iterations) {
+  EXPECT_EQ(r.iteration_times.size(), static_cast<std::size_t>(iterations));
+  EXPECT_EQ(rt.outstanding_leases(), 0u);
+  for (int w = 0; w < rt.topology().worker_count(); ++w) {
+    EXPECT_EQ(rt.worker_pending(w), 0) << "worker " << w;
+  }
+  const auto& pool = rt.tasks();
+  for (nanos::TaskId id = 0; id < pool.size(); ++id) {
+    const nanos::Task& t = pool.get(id);
+    EXPECT_EQ(t.state, nanos::TaskState::Finished) << "task " << id;
+    EXPECT_GE(t.executions, 1) << "task " << id;
+    // Exactly-once at the home runtime: a task may be *attempted* several
+    // times (re-queues, zombies), but each extra attempt is accounted as a
+    // re-execution or suppressed as a duplicate — never double-counted.
+    EXPECT_LE(t.executions, 1 + t.reexecutions) << "task " << id;
+  }
+}
+
+// --- phi-accrual detector ----------------------------------------------------
+
+TEST(PhiDetector, SilenceRaisesSuspicion) {
+  resil::PhiAccrualDetector det(/*window=*/16, /*min_std=*/0.01);
+  EXPECT_FALSE(det.started());
+  EXPECT_EQ(det.phi(1.0), 0.0);  // no history: never suspicious
+
+  for (int i = 0; i <= 10; ++i) det.heartbeat(0.05 * i);
+  EXPECT_TRUE(det.started());
+  EXPECT_NEAR(det.mean(), 0.05, 1e-12);
+  EXPECT_DOUBLE_EQ(det.stddev(), 0.01);  // deterministic gaps: floored
+
+  const double now = 0.5;  // exactly at the last arrival
+  const double phi_fresh = det.phi(now + 0.05);   // one period of silence
+  const double phi_late = det.phi(now + 0.15);    // three periods
+  const double phi_dead = det.phi(now + 1.00);    // long gone
+  EXPECT_LT(phi_fresh, 1.0);
+  EXPECT_GT(phi_late, phi_fresh);
+  EXPECT_GT(phi_dead, 8.0);
+  EXPECT_GE(phi_dead, phi_late);
+}
+
+TEST(PhiDetector, ResetForgetsHistory) {
+  resil::PhiAccrualDetector det(8, 0.01);
+  det.heartbeat(0.0);
+  det.heartbeat(0.1);
+  EXPECT_TRUE(det.started());
+  det.reset();
+  EXPECT_FALSE(det.started());
+  EXPECT_EQ(det.phi(100.0), 0.0);
+}
+
+TEST(PhiDetector, WindowSlidesOldIntervalsOut) {
+  resil::PhiAccrualDetector det(/*window=*/4, /*min_std=*/0.001);
+  // Four slow gaps, then many fast ones: the slow history must age out.
+  for (int i = 0; i <= 4; ++i) det.heartbeat(1.0 * i);
+  const double phi_slow = det.phi(4.0 + 0.5);
+  for (int i = 1; i <= 8; ++i) det.heartbeat(4.0 + 0.05 * i);
+  const double phi_fast = det.phi(4.4 + 0.5);
+  EXPECT_GT(phi_fast, phi_slow);  // 0.5 s silence is now alarming
+  EXPECT_NEAR(det.mean(), 0.05, 1e-9);
+}
+
+// --- lease table -------------------------------------------------------------
+
+TEST(LeaseTable, EpochsAreUniqueAndOrderedRequeue) {
+  resil::LeaseTable table;
+  auto& l5 = table.grant(5, /*worker=*/2, 0.0);
+  auto& l3 = table.grant(3, 2, 0.1);
+  auto& l9 = table.grant(9, 1, 0.2);
+  EXPECT_NE(l5.epoch, l3.epoch);
+  EXPECT_NE(l3.epoch, l9.epoch);
+  const auto on2 = table.tasks_on(2);
+  ASSERT_EQ(on2.size(), 2u);
+  EXPECT_EQ(on2[0], 3u);  // ascending task id: deterministic re-queue order
+  EXPECT_EQ(on2[1], 5u);
+  table.revoke(3);
+  EXPECT_EQ(table.find(3), nullptr);
+  EXPECT_EQ(table.size(), 2u);
+  // A re-grant of the same task gets a strictly newer epoch.
+  const std::uint64_t old_epoch = l5.epoch;
+  table.revoke(5);
+  auto& l5b = table.grant(5, 0, 0.3);
+  EXPECT_GT(l5b.epoch, old_epoch);
+}
+
+TEST(LeaseTable, BackoffDelayIsCappedExponential) {
+  resil::ResilConfig cfg;
+  cfg.lease_timeout = 0.05;
+  cfg.lease_backoff = 2.0;
+  cfg.lease_timeout_cap = 0.4;
+  EXPECT_DOUBLE_EQ(resil::LeaseTable::backoff_delay(cfg, 1), 0.05);
+  EXPECT_DOUBLE_EQ(resil::LeaseTable::backoff_delay(cfg, 2), 0.10);
+  EXPECT_DOUBLE_EQ(resil::LeaseTable::backoff_delay(cfg, 4), 0.40);
+  EXPECT_DOUBLE_EQ(resil::LeaseTable::backoff_delay(cfg, 7), 0.40);  // capped
+  cfg.lease_timeout_cap = 0.0;  // cap disabled: pure exponential
+  EXPECT_DOUBLE_EQ(resil::LeaseTable::backoff_delay(cfg, 7), 0.05 * 64.0);
+}
+
+// --- quarantine --------------------------------------------------------------
+
+TEST(Quarantine, StreakEjectionAndGrowingCooldown) {
+  resil::ResilConfig cfg;
+  cfg.quarantine_threshold = 3;
+  cfg.quarantine_cooling = 1.0;
+  cfg.quarantine_backoff = 2.0;
+  cfg.quarantine_cooling_cap = 3.0;
+  resil::Quarantine q(2, cfg);
+
+  EXPECT_FALSE(q.record_expiry(0));
+  EXPECT_FALSE(q.record_expiry(0));
+  q.record_success(0);  // a served lease resets the streak
+  EXPECT_FALSE(q.record_expiry(0));
+  EXPECT_FALSE(q.record_expiry(0));
+  EXPECT_TRUE(q.record_expiry(0));  // third consecutive expiry
+
+  EXPECT_DOUBLE_EQ(q.eject(0, 10.0), 11.0);  // first ejection: 1 s cooling
+  EXPECT_TRUE(q.ejected(0));
+  EXPECT_FALSE(q.ejected(1));
+  // Probe found it still silent twice: cooling 2 s, then capped at 3 s.
+  EXPECT_DOUBLE_EQ(q.extend(0, 11.0), 13.0);
+  EXPECT_DOUBLE_EQ(q.extend(0, 13.0), 16.0);
+  q.readmit(0);
+  EXPECT_FALSE(q.ejected(0));
+  EXPECT_EQ(q.expiry_streak(0), 0);
+  // The ejection count survives readmission: the next ejection starts at
+  // the capped cooling straight away (flapping pays full price).
+  EXPECT_DOUBLE_EQ(q.eject(0, 20.0), 23.0);
+}
+
+// --- static ownership plan (last fallback rung) ------------------------------
+
+TEST(Policies, StaticOwnershipPlanSplitsEvenly) {
+  const core::RuntimeConfig cfg = resil_cluster(4, 8, 2);
+  core::ClusterRuntime rt(cfg);  // builds the topology for us
+  const std::vector<int> cores(4, 8);
+  const auto plan = core::static_ownership_plan(rt.topology(), cores);
+  ASSERT_EQ(plan.size(), 4u);
+  for (const auto& node_plan : plan) {
+    int total = 0;
+    for (const auto& [w, count] : node_plan) {
+      (void)w;
+      EXPECT_GE(count, 1);
+      total += count;
+    }
+    EXPECT_EQ(total, 8);
+  }
+}
+
+// --- heartbeat-mode crash detection ------------------------------------------
+
+// Tentpole acceptance: with oracle detection disabled, a helper crash is
+// *observed* — finite detection latency, every task still completes, and
+// completion accounting stays exactly-once.
+TEST(Resil, HeartbeatDetectsCrashAndRecovers) {
+  core::RuntimeConfig cfg = resil_cluster(4, 16, 3);
+  cfg.resil.detection = resil::DetectionMode::Heartbeat;
+  const apps::SyntheticConfig scfg = synth(4, 8, 240, 2.5);
+
+  apps::SyntheticWorkload wl_clean(scfg);
+  const auto clean = core::ClusterRuntime(cfg).run(wl_clean);
+
+  apps::SyntheticWorkload wl(scfg);
+  core::ClusterRuntime rt(cfg);
+  const core::WorkerId victim = rt.topology().workers_of_apprank(0)[1];
+  fault::FaultInjector injector(
+      fault::FaultPlan().crash_worker(victim, clean.makespan * 0.45));
+  metrics::RecoverySeries recovery;
+  injector.attach(rt, &recovery);
+  const auto r = rt.run(wl);
+
+  EXPECT_EQ(r.workers_crashed, 1u);
+  EXPECT_FALSE(rt.worker_alive(victim));
+  EXPECT_GT(r.heartbeat_messages, 0u);
+
+  // The failure was detected, not announced: latency is finite, positive,
+  // and small (a handful of heartbeat periods).
+  EXPECT_EQ(r.detections, 1u);
+  EXPECT_GT(r.mean_detection_latency(), 0.0);
+  EXPECT_LT(r.mean_detection_latency(), 1.0);
+  ASSERT_EQ(recovery.detections().size(), 1u);
+  EXPECT_TRUE(recovery.detections()[0].true_positive);
+  EXPECT_NEAR(recovery.mean_detection_latency(), r.mean_detection_latency(),
+              1e-12);
+  EXPECT_EQ(recovery.false_positive_count(), 0);
+  EXPECT_GE(r.quarantine_ejections, 1u);
+  EXPECT_GT(r.tasks_reexecuted, 0u);
+
+  expect_all_work_done(rt, r, scfg.iterations);
+  // No rescued task may have ended up executing on the corpse.
+  const auto& pool = rt.tasks();
+  for (nanos::TaskId id = 0; id < pool.size(); ++id) {
+    const nanos::Task& t = pool.get(id);
+    if (t.reexecutions > 0) {
+      EXPECT_NE(t.executed_worker, victim);
+    }
+  }
+}
+
+// A crash landing exactly on an iteration boundary (while the appranks sit
+// in the MPI barrier, no offloaded work in flight) must not deadlock
+// on_barrier_done — in either detection mode.
+TEST(Resil, CrashDuringBarrierDoesNotDeadlock) {
+  const apps::SyntheticConfig scfg = synth(4, 6, 120, 2.0);
+  for (const auto mode :
+       {resil::DetectionMode::Oracle, resil::DetectionMode::Heartbeat}) {
+    core::RuntimeConfig cfg = resil_cluster(4, 8, 2);
+    cfg.resil.detection = mode;
+
+    apps::SyntheticWorkload wl_clean(scfg);
+    const auto clean = core::ClusterRuntime(cfg).run(wl_clean);
+    ASSERT_GE(clean.iteration_times.size(), 2u);
+    // The instant the first global barrier completes is an iteration
+    // boundary; crash exactly there.
+    const double boundary = clean.iteration_times[0];
+
+    apps::SyntheticWorkload wl(scfg);
+    core::ClusterRuntime rt(cfg);
+    const core::WorkerId victim = rt.topology().workers_of_apprank(0)[1];
+    fault::FaultInjector injector(
+        fault::FaultPlan().crash_worker(victim, boundary));
+    injector.attach(rt);
+    const auto r = rt.run(wl);
+
+    EXPECT_EQ(r.workers_crashed, 1u);
+    EXPECT_EQ(r.iteration_times.size(), static_cast<std::size_t>(scfg.iterations))
+        << "run deadlocked in mode "
+        << (mode == resil::DetectionMode::Oracle ? "oracle" : "heartbeat");
+    const auto& pool = rt.tasks();
+    for (nanos::TaskId id = 0; id < pool.size(); ++id) {
+      EXPECT_EQ(pool.get(id).state, nanos::TaskState::Finished);
+    }
+  }
+}
+
+// Satellite (a): crash_worker is idempotent — a second crash of the same
+// worker (or a crash scheduled after the run drained) is a no-op, and
+// killing the last live helper of an apprank degrades to home-only
+// execution instead of wedging.
+TEST(Resil, DoubleCrashAndLastHelperAreGuarded) {
+  core::RuntimeConfig cfg = resil_cluster(4, 8, 2);
+  cfg.resil.rewire_on_disconnect = false;  // force home-only degradation
+  apps::SyntheticWorkload wl(synth(4, 6, 120, 2.0));
+  core::ClusterRuntime rt(cfg);
+  const core::WorkerId victim = rt.topology().workers_of_apprank(0)[1];
+  ASSERT_EQ(rt.topology().workers_of_apprank(0).size(), 2u);
+  fault::FaultInjector injector(fault::FaultPlan()
+                                    .crash_worker(victim, 1.0)
+                                    .crash_worker(victim, 1.5)    // duplicate
+                                    .crash_worker(victim, 2.0));  // again
+  injector.attach(rt);
+  const auto r = rt.run(wl);
+
+  EXPECT_EQ(r.workers_crashed, 1u);  // counted exactly once
+  EXPECT_EQ(r.rewired_edges, 0u);
+  EXPECT_EQ(r.iteration_times.size(), 6u);
+  const auto& pool = rt.tasks();
+  for (nanos::TaskId id = 0; id < pool.size(); ++id) {
+    EXPECT_EQ(pool.get(id).state, nanos::TaskState::Finished);
+  }
+}
+
+// --- link blackout: false suspicion, quarantine, readmission -----------------
+
+// Tentpole acceptance: a 30 s control/app-plane blackout (huge latency,
+// nothing lost) makes the home runtimes falsely suspect their helpers,
+// quarantine them, absorb the work, and readmit the helpers once their
+// delayed heartbeats drain — zero lost tasks, no deadlock, exactly-once.
+TEST(Resil, LinkBlackoutQuarantinesAndReadmits) {
+  core::RuntimeConfig cfg = resil_cluster(4, 8, 2);
+  cfg.resil.detection = resil::DetectionMode::Heartbeat;
+  const apps::SyntheticConfig scfg = synth(4, 10, 120, 2.0);
+
+  apps::SyntheticWorkload wl(scfg);
+  core::ClusterRuntime rt(cfg);
+  // latency_mult turns the ~2 us link latency into ~30 s per message for
+  // the duration of the window — a blackout in everything but name
+  // (loss_rate 1.0 is rejected by FaultPlan by design).
+  const double blackout_mult = 30.0 / cfg.cluster.link.latency;
+  fault::FaultInjector injector(fault::FaultPlan().degrade_link(
+      blackout_mult, 1.0, 0.0, /*at=*/2.0, /*until=*/32.0));
+  metrics::RecoverySeries recovery;
+  injector.attach(rt, &recovery);
+  const auto r = rt.run(wl);
+
+  EXPECT_EQ(r.workers_crashed, 0u);
+  EXPECT_EQ(r.detections, 0u);  // nobody actually died...
+  EXPECT_GT(r.false_suspicions, 0u);  // ...but the silence was judged fatal
+  EXPECT_GT(r.quarantine_ejections, 0u);
+  EXPECT_GT(r.quarantine_readmissions, 0u);  // helpers came back
+  EXPECT_EQ(recovery.false_positive_count(),
+            static_cast<int>(r.false_suspicions));
+  // Suspicion revoked leases whose executions were already running or
+  // whose completions were in flight: their stale-epoch completions were
+  // suppressed rather than double-counted.
+  EXPECT_GT(r.duplicates_suppressed, 0u);
+
+  expect_all_work_done(rt, r, scfg.iterations);
+  // Note: some workers may legitimately still sit in a quarantine cooldown
+  // window at the instant the run drains (flapping pays growing cooldowns);
+  // the readmission counter above proves the probe-back path ran.
+}
+
+// Heartbeat-mode runs remain a pure function of the seed.
+TEST(Resil, HeartbeatRunsAreDeterministic) {
+  auto run_once = [](core::ClusterRuntime& rt) {
+    apps::SyntheticWorkload wl(synth(4, 6, 120, 2.0));
+    fault::FaultInjector injector(
+        fault::FaultPlan()
+            .lose_messages(0.10, 0.5, 2.5)
+            .crash_worker(rt.topology().workers_of_apprank(0)[1], 1.5));
+    injector.attach(rt);
+    return rt.run(wl);
+  };
+  core::RuntimeConfig cfg = resil_cluster(4, 8, 2);
+  cfg.resil.detection = resil::DetectionMode::Heartbeat;
+  core::ClusterRuntime rt_a(cfg);
+  core::ClusterRuntime rt_b(cfg);
+  const auto a = run_once(rt_a);
+  const auto b = run_once(rt_b);
+
+  EXPECT_EQ(a.makespan, b.makespan);  // bitwise
+  EXPECT_EQ(a.iteration_times, b.iteration_times);
+  EXPECT_EQ(a.events_fired, b.events_fired);
+  EXPECT_EQ(a.heartbeat_messages, b.heartbeat_messages);
+  EXPECT_EQ(a.detections, b.detections);
+  EXPECT_EQ(a.false_suspicions, b.false_suspicions);
+  EXPECT_EQ(a.detection_latency_sum, b.detection_latency_sum);  // bitwise
+  EXPECT_EQ(a.lease_retransmits, b.lease_retransmits);
+  EXPECT_EQ(a.duplicates_suppressed, b.duplicates_suppressed);
+  EXPECT_EQ(a.tasks_reexecuted, b.tasks_reexecuted);
+  EXPECT_EQ(rt_a.recorder().marks(), rt_b.recorder().marks());
+}
+
+// --- solver fallback chain ---------------------------------------------------
+
+/// Several equally-overloaded ranks competing for the same sparse helper
+/// pool. A single heavy rank (as the synthetic generator produces) makes
+/// the solver's lower bound feasible outright — bisection only runs when a
+/// *joint* cut binds, which needs at least two heavy neighbourhoods.
+class ContendedWorkload final : public core::Workload {
+ public:
+  ContendedWorkload(int appranks, int iterations, int tasks, int heavy_ranks)
+      : appranks_(appranks),
+        iterations_(iterations),
+        tasks_(tasks),
+        heavy_ranks_(heavy_ranks) {}
+  [[nodiscard]] int iteration_count() const override { return iterations_; }
+  std::vector<core::TaskSpec> make_tasks(int apprank, int) override {
+    const double mean = apprank < heavy_ranks_ ? 0.200 : 0.010;
+    std::vector<core::TaskSpec> specs(static_cast<std::size_t>(tasks_));
+    for (auto& spec : specs) spec.work = mean;
+    return specs;
+  }
+
+ private:
+  int appranks_;
+  int iterations_;
+  int tasks_;
+  int heavy_ranks_;
+};
+
+TEST(Resil, SolverIterationBudgetDownshiftsToLocal) {
+  // A one-iteration bisection budget cannot converge, so the global tick
+  // falls back to the local convergence plan and says so in the trace.
+  core::RuntimeConfig cfg = resil_cluster(6, 8, 2);
+  cfg.resil.solver_iteration_budget = 1;
+  // 4 heavy ranks x 8 core-seconds on 6x8 cores: at the bisection lower
+  // bound the joint extra demand (~38.8 cores) exceeds the total residual
+  // capacity (36), so the initial feasibility shortcut can never fire.
+  ContendedWorkload wl(6, 8, 40, /*heavy_ranks=*/4);
+  core::ClusterRuntime rt(cfg);
+  const auto r = rt.run(wl);
+
+  EXPECT_GE(r.policy_downshifts, 1u);
+  const auto& marks = rt.recorder().marks();
+  const bool downshifted =
+      std::any_of(marks.begin(), marks.end(), [](const auto& m) {
+        return m.second.find("policy downshift: global -> local") !=
+               std::string::npos;
+      });
+  EXPECT_TRUE(downshifted);
+  EXPECT_EQ(r.iteration_times.size(), 8u);  // the run still balances
+}
+
+TEST(Resil, SolverTimeBudgetDownshiftsToLocal) {
+  core::RuntimeConfig cfg = resil_cluster(4, 16, 3);
+  cfg.solver_latency = 0.05;            // modelled solve cost
+  cfg.resil.solver_time_budget = 0.01;  // tighter than the solver is
+  apps::SyntheticWorkload wl(synth(4, 8, 240, 2.0));
+  core::ClusterRuntime rt(cfg);
+  const auto r = rt.run(wl);
+  EXPECT_GE(r.policy_downshifts, 1u);
+  EXPECT_EQ(r.iteration_times.size(), 8u);
+}
+
+TEST(Resil, DefaultBudgetsNeverDownshift) {
+  core::RuntimeConfig cfg = resil_cluster(4, 16, 3);
+  apps::SyntheticWorkload wl(synth(4, 6, 120, 2.0));
+  core::ClusterRuntime rt(cfg);
+  const auto r = rt.run(wl);
+  EXPECT_EQ(r.policy_downshifts, 0u);
+}
+
+// --- expander rewire ---------------------------------------------------------
+
+// When a crash disconnects an apprank from its only helper, a replacement
+// helper edge is added (graph, topology, control plane, DLB state all
+// grow) and offloading continues on the new edge.
+TEST(Resil, CrashDisconnectingApprankRewiresExpander) {
+  core::RuntimeConfig cfg = resil_cluster(4, 8, 2);
+  apps::SyntheticWorkload wl(synth(4, 8, 160, 2.5));
+  core::ClusterRuntime rt(cfg);
+  const int workers_before = rt.topology().worker_count();
+  const core::WorkerId victim = rt.topology().workers_of_apprank(0)[1];
+  const int victim_node = rt.topology().worker(victim).node;
+  fault::FaultInjector injector(fault::FaultPlan().crash_worker(victim, 1.5));
+  injector.attach(rt);
+  const auto r = rt.run(wl);
+
+  EXPECT_EQ(r.rewired_edges, 1u);
+  EXPECT_EQ(rt.topology().worker_count(), workers_before + 1);
+  ASSERT_EQ(rt.topology().workers_of_apprank(0).size(), 3u);
+  const core::WorkerId fresh = rt.topology().workers_of_apprank(0)[2];
+  EXPECT_FALSE(rt.topology().worker(fresh).is_home);
+  EXPECT_NE(rt.topology().worker(fresh).node, victim_node);
+  EXPECT_TRUE(rt.offload_graph().has_edge(0, rt.topology().worker(fresh).node));
+  EXPECT_TRUE(rt.worker_alive(fresh));
+
+  // The replacement actually executed offloaded work for apprank 0.
+  const auto& pool = rt.tasks();
+  bool fresh_executed = false;
+  for (nanos::TaskId id = 0; id < pool.size(); ++id) {
+    const nanos::Task& t = pool.get(id);
+    EXPECT_EQ(t.state, nanos::TaskState::Finished);
+    if (t.executed_worker == fresh) fresh_executed = true;
+  }
+  EXPECT_TRUE(fresh_executed);
+  EXPECT_EQ(r.iteration_times.size(), 8u);
+}
+
+}  // namespace
+}  // namespace tlb

@@ -270,5 +270,91 @@ TEST(Vmpi, DegradedLinkScalesTransferCost) {
   EXPECT_GT(degraded_cost, clean_cost * 1.9);
 }
 
+TEST(Vmpi, BackoffCapBoundsRetransmitDelay) {
+  // Capped exponential backoff (tlb::resil): with loss_rate = 1.0 every
+  // non-final attempt is lost, so the delivery time is exactly the sum of
+  // the backoff waits plus one transfer cost — and each wait is bounded by
+  // RetryPolicy::timeout_cap.
+  Fixture f;
+  auto comm = f.make({0, 1});
+  LinkFault total_loss;
+  total_loss.loss_rate = 1.0;
+  comm.set_fault_seed(99);
+  comm.set_link_fault(total_loss);
+  RetryPolicy capped;
+  capped.timeout = 1e-3;
+  capped.backoff = 2.0;
+  capped.max_attempts = 6;
+  capped.timeout_cap = 2e-3;
+  comm.set_retry_policy(capped);
+
+  sim::SimTime delivered = -1.0;
+  comm.recv(1, 0, 0, [&](const Message& m) { delivered = m.delivered_at; });
+  comm.send(0, 1, 0, 64);
+  f.engine.run();
+
+  // Waits: 1ms, then 2ms capped four times (uncapped would be 1+2+4+8+16).
+  const sim::SimTime waits = 1e-3 + 4 * 2e-3;
+  const sim::SimTime cost = f.link.latency + 64.0 / f.link.bandwidth;
+  EXPECT_NEAR(delivered, waits + cost, 1e-12);
+  EXPECT_LT(delivered, 31e-3);  // strictly better than uncapped growth
+}
+
+TEST(Vmpi, TotalLossRetransmitCountIsBounded) {
+  // Under 100% loss the retransmit count per message is exactly
+  // max_attempts - 1 (the final attempt always succeeds: fail-slow), and
+  // every message still drains — nothing stays in flight forever.
+  Fixture f;
+  auto comm = f.make({0, 1});
+  LinkFault total_loss;
+  total_loss.loss_rate = 1.0;
+  comm.set_fault_seed(5);
+  comm.set_link_fault(total_loss);
+  RetryPolicy policy;
+  policy.timeout = 1e-4;
+  policy.backoff = 2.0;
+  policy.max_attempts = 4;
+  policy.timeout_cap = 4e-4;
+  comm.set_retry_policy(policy);
+
+  constexpr int kMessages = 10;
+  int delivered = 0;
+  for (int i = 0; i < kMessages; ++i) {
+    comm.recv(1, 0, kAnyTag, [&](const Message& m) {
+      ++delivered;
+      EXPECT_EQ(m.attempts, policy.max_attempts);
+    });
+    comm.send(0, 1, i, 32);
+  }
+  f.engine.run();
+  EXPECT_EQ(delivered, kMessages);  // in-flight count returned to zero
+  EXPECT_EQ(comm.retransmissions(),
+            static_cast<std::uint64_t>(kMessages) *
+                static_cast<std::uint64_t>(policy.max_attempts - 1));
+}
+
+TEST(Vmpi, AddRankPreservesChannelState) {
+  // add_rank (expander rewire) grows the communicator mid-run without
+  // disturbing in-flight FIFO state: messages sent before the growth still
+  // deliver in order, and the new rank is immediately usable.
+  Fixture f;
+  auto comm = f.make({0, 1});
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    comm.recv(1, 0, kAnyTag, [&](const Message& m) { order.push_back(m.tag); });
+    comm.send(0, 1, i, 128);
+  }
+  const RankId fresh = comm.add_rank(/*node=*/2);
+  EXPECT_EQ(fresh, 2);
+  EXPECT_EQ(comm.size(), 3);
+  bool fresh_got = false;
+  comm.recv(fresh, 0, 7, [&](const Message&) { fresh_got = true; });
+  comm.send(0, fresh, 7, 64);
+  f.engine.run();
+  ASSERT_EQ(order.size(), 3u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  EXPECT_TRUE(fresh_got);
+}
+
 }  // namespace
 }  // namespace tlb::vmpi
