@@ -8,8 +8,13 @@
 // — who wins, by what factor, where crossovers fall — are the result.
 #pragma once
 
+#include <chrono>
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/runtime.hpp"
@@ -94,5 +99,177 @@ inline std::string fmt(double v, int prec = 3) {
   std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
   return buf;
 }
+
+// --- machine-readable output --------------------------------------------------
+
+/// True when TLB_BENCH_SMOKE is set (and not "0"): benches shrink their
+/// sweeps to tiny sizes so CI can execute every figure in seconds. The
+/// numbers are meaningless for the paper shapes — the run only proves the
+/// binaries execute and the JSON reports stay well-formed.
+inline bool smoke() {
+  const char* e = std::getenv("TLB_BENCH_SMOKE");
+  return e != nullptr && e[0] != '\0' && std::string(e) != "0";
+}
+
+/// One flat JSON object built key by key; insertion order is preserved.
+/// Values are rendered immediately, so the object holds only strings.
+class JsonObject {
+ public:
+  JsonObject& set(const std::string& key, double v) {
+    char buf[64];
+    if (std::isfinite(v)) {
+      std::snprintf(buf, sizeof(buf), "%.12g", v);
+    } else {
+      std::snprintf(buf, sizeof(buf), "null");
+    }
+    kv_.emplace_back(key, buf);
+    return *this;
+  }
+  JsonObject& set(const std::string& key, int v) {
+    kv_.emplace_back(key, std::to_string(v));
+    return *this;
+  }
+  JsonObject& set(const std::string& key, std::uint64_t v) {
+    kv_.emplace_back(key, std::to_string(v));
+    return *this;
+  }
+  JsonObject& set(const std::string& key, bool v) {
+    kv_.emplace_back(key, v ? "true" : "false");
+    return *this;
+  }
+  JsonObject& set(const std::string& key, const std::string& v) {
+    kv_.emplace_back(key, quote(v));
+    return *this;
+  }
+  JsonObject& set(const std::string& key, const char* v) {
+    return set(key, std::string(v));
+  }
+
+  [[nodiscard]] std::string render() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < kv_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += quote(kv_[i].first) + ": " + kv_[i].second;
+    }
+    return out + "}";
+  }
+
+  [[nodiscard]] static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out + "\"";
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> kv_;
+};
+
+/// Collects the numbers behind one figure and writes them to
+/// BENCH_<figure>.json — alongside, not instead of, the human tables — so
+/// CI can archive every figure as a machine-readable artifact. Shape:
+///
+///   { "figure": "fig08", "title": "...", "smoke": false,
+///     "config": { ... },
+///     "series": [ {"name": "degree 4", "points": [{...}, ...]}, ... ],
+///     "wall_ms": 123.4 }
+///
+/// Points are flat objects (one per measured combination). The file lands
+/// in the current directory unless TLB_BENCH_OUTPUT_DIR is set. write()
+/// is idempotent; the destructor writes if nobody did.
+class JsonReport {
+ public:
+  JsonReport(std::string figure, std::string title)
+      : figure_(std::move(figure)),
+        title_(std::move(title)),
+        start_(std::chrono::steady_clock::now()) {}
+
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  ~JsonReport() {
+    if (!written_) write();
+  }
+
+  /// Figure-level parameters (node counts, payload sizes, ...).
+  JsonObject& config() { return config_; }
+
+  /// Appends a point to `series` (created on first use, order preserved)
+  /// and returns it for chained set() calls.
+  JsonObject& point(const std::string& series) {
+    for (auto& s : series_) {
+      if (s.first == series) {
+        s.second.emplace_back();
+        return s.second.back();
+      }
+    }
+    series_.emplace_back(series, std::vector<JsonObject>(1));
+    return series_.back().second.back();
+  }
+
+  bool write() {
+    written_ = true;
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    std::string out = "{\n";
+    out += "  \"figure\": " + JsonObject::quote(figure_) + ",\n";
+    out += "  \"title\": " + JsonObject::quote(title_) + ",\n";
+    out += std::string("  \"smoke\": ") + (smoke() ? "true" : "false") + ",\n";
+    out += "  \"config\": " + config_.render() + ",\n";
+    out += "  \"series\": [\n";
+    for (std::size_t i = 0; i < series_.size(); ++i) {
+      out += "    {\"name\": " + JsonObject::quote(series_[i].first) +
+             ", \"points\": [\n";
+      const auto& pts = series_[i].second;
+      for (std::size_t j = 0; j < pts.size(); ++j) {
+        out += "      " + pts[j].render();
+        out += j + 1 < pts.size() ? ",\n" : "\n";
+      }
+      out += i + 1 < series_.size() ? "    ]},\n" : "    ]}\n";
+    }
+    out += "  ],\n";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1f", wall_ms);
+    out += std::string("  \"wall_ms\": ") + buf + "\n}\n";
+
+    std::string path = "BENCH_" + figure_ + ".json";
+    if (const char* dir = std::getenv("TLB_BENCH_OUTPUT_DIR")) {
+      if (dir[0] != '\0') path = std::string(dir) + "/" + path;
+    }
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    std::printf("[json] wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string figure_;
+  std::string title_;
+  std::chrono::steady_clock::time_point start_;
+  JsonObject config_;
+  std::vector<std::pair<std::string, std::vector<JsonObject>>> series_;
+  bool written_ = false;
+};
 
 }  // namespace tlb::bench

@@ -13,11 +13,13 @@ namespace {
 
 class TwoPhaseWorkload final : public tlb::core::Workload {
  public:
-  int iteration_count() const override { return 36; }
+  int iteration_count() const override { return tlb::bench::smoke() ? 6 : 36; }
   std::vector<tlb::core::TaskSpec> make_tasks(int apprank,
                                               int iteration) override {
-    const bool unbalanced = iteration < 12;
-    const int tasks = unbalanced ? (apprank == 0 ? 600 : 8) : 300;
+    const bool unbalanced = iteration < iteration_count() / 3;
+    const int scale = tlb::bench::smoke() ? 10 : 1;
+    const int full = unbalanced ? (apprank == 0 ? 600 : 8) : 300;
+    const int tasks = full / scale > 0 ? full / scale : 1;
     std::vector<tlb::core::TaskSpec> specs;
     specs.reserve(static_cast<std::size_t>(tasks));
     for (int i = 0; i < tasks; ++i) {
@@ -32,7 +34,8 @@ class TwoPhaseWorkload final : public tlb::core::Workload {
   }
 };
 
-void run_policy(tlb::core::PolicyKind kind, const char* name) {
+void run_policy(tlb::core::PolicyKind kind, const char* name,
+                tlb::bench::JsonReport& report) {
   using namespace tlb::bench;
   TwoPhaseWorkload wl;
   tlb::core::RuntimeConfig cfg;
@@ -44,9 +47,10 @@ void run_policy(tlb::core::PolicyKind kind, const char* name) {
   const auto r = rt.run(wl);
   const auto& rec = rt.recorder();
 
-  // Phase boundary: end of iteration 12 (the unbalanced half).
+  // Phase boundary: end of the unbalanced first third.
   double mid = 0.0;
-  for (int i = 0; i < 12 && i < static_cast<int>(r.iteration_times.size());
+  for (int i = 0; i < wl.iteration_count() / 3 &&
+                  i < static_cast<int>(r.iteration_times.size());
        ++i) {
     mid += r.iteration_times[static_cast<std::size_t>(i)];
   }
@@ -65,6 +69,14 @@ void run_policy(tlb::core::PolicyKind kind, const char* name) {
               rec.owned(1, 0).value_at(r.makespan),
               rec.owned(0, 1).value_at(r.makespan));
 
+  report.point(name)
+      .set("makespan", r.makespan)
+      .set("offload_fraction", r.offload_fraction())
+      .set("remote_busy_unbalanced", remote_phase1)
+      .set("remote_busy_balanced", remote_phase2)
+      .set("final_owned_a0_n1", rec.owned(1, 0).value_at(r.makespan))
+      .set("final_owned_a1_n0", rec.owned(0, 1).value_at(r.makespan));
+
   std::printf("   busy-core traces (rows: node x apprank, full run, peak=48):\n");
   std::vector<std::pair<std::string, const tlb::trace::StepSeries*>> rows;
   for (int n = 0; n < 2; ++n) {
@@ -82,8 +94,11 @@ void run_policy(tlb::core::PolicyKind kind, const char* name) {
 
 int main() {
   std::printf("== Fig 5: coarse-grained balancing, 2 appranks on 2 nodes ==\n"
-              "(first half unbalanced: all work on apprank 0; second half balanced)\n");
-  run_policy(tlb::core::PolicyKind::Local, "local convergence");
-  run_policy(tlb::core::PolicyKind::Global, "global solver");
+              "(first third unbalanced: all work on apprank 0; rest balanced)\n");
+  tlb::bench::JsonReport report(
+      "fig05", "Coarse-grained balancing: local convergence vs global solver");
+  report.config().set("nodes", 2).set("cores_per_node", 48).set("degree", 2);
+  run_policy(tlb::core::PolicyKind::Local, "local convergence", report);
+  run_policy(tlb::core::PolicyKind::Global, "global solver", report);
   return 0;
 }

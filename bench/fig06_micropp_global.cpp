@@ -12,10 +12,12 @@ int main() {
   run_micropp_weak_scaling(
       tlb::core::PolicyKind::Global, /*appranks_per_node=*/1,
       {2, 4, 8, 16, 32, 64},
-      "Fig 6(a): MicroPP, global policy, 1 apprank/node [exec time, s]");
+      "Fig 6(a): MicroPP, global policy, 1 apprank/node [exec time, s]",
+      "fig06a");
   run_micropp_weak_scaling(
       tlb::core::PolicyKind::Global, /*appranks_per_node=*/2,
       {2, 4, 8, 16, 32, 64},
-      "Fig 6(b): MicroPP, global policy, 2 appranks/node [exec time, s]");
+      "Fig 6(b): MicroPP, global policy, 2 appranks/node [exec time, s]",
+      "fig06b");
   return 0;
 }

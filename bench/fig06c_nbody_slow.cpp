@@ -13,8 +13,8 @@ namespace {
 tlb::apps::nbody::NBodyConfig nbody_config(int appranks) {
   tlb::apps::nbody::NBodyConfig cfg;
   cfg.appranks = appranks;
-  cfg.iterations = 12;
-  cfg.bodies = 8192;
+  cfg.iterations = tlb::bench::smoke() ? 2 : 12;
+  cfg.bodies = tlb::bench::smoke() ? 2048 : 8192;
   cfg.blocks_per_rank = 48;
   cfg.theta = 0.5;
   cfg.dt = 5e-3;                      // noticeable drift between ORB steps
@@ -40,6 +40,14 @@ int main() {
       "Fig 6(c): n-body on 16 Nord3 nodes, one slow node, 2 appranks/node",
       cols);
 
+  JsonReport report(
+      "fig06c", "N-body on 16 Nord3 nodes, one slow node, 2 appranks/node");
+  report.config()
+      .set("nodes", nodes)
+      .set("cores_per_node", 16)
+      .set("appranks_per_node", per_node)
+      .set("slow_node_speed", 0.6);
+
   double baseline = 0.0;
   for (const auto& s : series) {
     const auto cluster = nord3(nodes, /*one_slow_node=*/true);
@@ -56,6 +64,10 @@ int main() {
     print_cell(fmt(r.offload_fraction(), 3));
     print_cell(r.perfect_time);
     end_row();
+    report.point(s.name)
+        .set("makespan", r.makespan)
+        .set("perfect", r.perfect_time)
+        .set("offload_fraction", r.offload_fraction());
   }
   return 0;
 }

@@ -10,10 +10,12 @@ int main() {
   run_micropp_weak_scaling(
       tlb::core::PolicyKind::Local, /*appranks_per_node=*/1,
       {2, 4, 8, 16, 32},
-      "Fig 7(a): MicroPP, local policy, 1 apprank/node [exec time, s]");
+      "Fig 7(a): MicroPP, local policy, 1 apprank/node [exec time, s]",
+      "fig07a");
   run_micropp_weak_scaling(
       tlb::core::PolicyKind::Local, /*appranks_per_node=*/2,
       {2, 4, 8, 16, 32},
-      "Fig 7(b): MicroPP, local policy, 2 appranks/node [exec time, s]");
+      "Fig 7(b): MicroPP, local policy, 2 appranks/node [exec time, s]",
+      "fig07b");
   return 0;
 }

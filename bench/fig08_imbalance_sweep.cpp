@@ -14,16 +14,17 @@ namespace {
 tlb::apps::SyntheticConfig synthetic_config(int appranks, double imbalance) {
   tlb::apps::SyntheticConfig cfg;
   cfg.appranks = appranks;
-  cfg.iterations = 6;
+  cfg.iterations = tlb::bench::smoke() ? 2 : 6;
   // Paper: 100 tasks/core of ~50 ms; scaled to 20/core on 16-core nodes
   // so the 64-node sweep simulates in seconds.
-  cfg.tasks_per_rank = 320;
+  cfg.tasks_per_rank = tlb::bench::smoke() ? 32 : 320;
   cfg.base_duration = 0.050;
   cfg.imbalance = imbalance;
   return cfg;
 }
 
-void sweep(int nodes, const std::vector<int>& degrees) {
+void sweep(int nodes, const std::vector<int>& degrees,
+           tlb::bench::JsonReport& report) {
   using namespace tlb::bench;
   std::vector<Series> series;
   series.push_back({"dlb(deg1)", 1, true, true, tlb::core::PolicyKind::Global});
@@ -39,7 +40,9 @@ void sweep(int nodes, const std::vector<int>& degrees) {
                    " nodes (16 cores/node), time per run [s]",
                cols);
 
-  for (double imb : {1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0}) {
+  std::vector<double> imbalances = {1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0};
+  if (smoke()) imbalances = {1.0, 2.0};
+  for (double imb : imbalances) {
     print_cell(fmt(imb, 1));
     double perfect = 0.0;
     for (const auto& s : series) {
@@ -55,6 +58,10 @@ void sweep(int nodes, const std::vector<int>& degrees) {
       const auto r = rt.run(wl);
       print_cell(r.makespan);
       perfect = r.perfect_time;
+      report.point(std::to_string(nodes) + " nodes / " + s.name)
+          .set("imbalance", imb)
+          .set("makespan", r.makespan)
+          .set("perfect", r.perfect_time);
     }
     print_cell(perfect);
     end_row();
@@ -64,8 +71,13 @@ void sweep(int nodes, const std::vector<int>& degrees) {
 }  // namespace
 
 int main() {
-  sweep(4, {2, 3, 4});
-  sweep(16, {2, 3, 4, 8});
-  sweep(64, {2, 4, 8});
+  tlb::bench::JsonReport report(
+      "fig08", "Synthetic benchmark: execution time vs configured imbalance");
+  report.config().set("cores_per_node", 16).set("policy", "global");
+  sweep(4, {2, 3, 4}, report);
+  if (!tlb::bench::smoke()) {
+    sweep(16, {2, 3, 4, 8}, report);
+    sweep(64, {2, 4, 8}, report);
+  }
   return 0;
 }

@@ -14,8 +14,8 @@ namespace {
 tlb::apps::micropp::MicroPPConfig micropp4() {
   tlb::apps::micropp::MicroPPConfig cfg;
   cfg.appranks = 4;
-  cfg.iterations = 12;
-  cfg.elements_per_rank = 8192;
+  cfg.iterations = tlb::bench::smoke() ? 2 : 12;
+  cfg.elements_per_rank = tlb::bench::smoke() ? 1024 : 8192;
   cfg.elements_per_task = 16;
   cfg.heavy_rank_fraction = 0.25;  // apprank 0 is the heavy one
   cfg.nonlinear_fraction_heavy = 0.45;
@@ -41,6 +41,8 @@ int main() {
       {"lewi+drom", true, true},
   };
   std::printf("== Fig 9: MicroPP, 4 appranks on 4 nodes, degree 2 ==\n");
+  JsonReport report("fig09", "Role of LeWI and DROM on MicroPP");
+  report.config().set("nodes", 4).set("cores_per_node", 48).set("degree", 2);
 
   double baseline = 0.0;
   for (const auto& v : variants) {
@@ -64,6 +66,13 @@ int main() {
                 static_cast<unsigned long long>(r.lewi_lends),
                 static_cast<unsigned long long>(r.lewi_borrows),
                 static_cast<unsigned long long>(r.drom_moves));
+    report.point(v.name)
+        .set("makespan", r.makespan)
+        .set("vs_baseline", r.makespan / baseline)
+        .set("offload_fraction", r.offload_fraction())
+        .set("lewi_lends", r.lewi_lends)
+        .set("lewi_borrows", r.lewi_borrows)
+        .set("drom_moves", r.drom_moves);
 
     const auto& rec = rt.recorder();
     std::printf("   busy cores per (node, apprank), peak=48:\n");

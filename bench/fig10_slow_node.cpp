@@ -19,8 +19,8 @@ tlb::apps::SyntheticConfig slow_config(int appranks, double imbalance,
                                        bool slow_has_most) {
   tlb::apps::SyntheticConfig cfg;
   cfg.appranks = appranks;
-  cfg.iterations = 3;
-  cfg.tasks_per_rank = 320;
+  cfg.iterations = tlb::bench::smoke() ? 1 : 3;
+  cfg.tasks_per_rank = tlb::bench::smoke() ? 32 : 320;
   cfg.base_duration = 0.050;
   cfg.imbalance = imbalance;
   cfg.slow_rank = 0;
@@ -34,7 +34,8 @@ tlb::apps::SyntheticConfig slow_config(int appranks, double imbalance,
   return cfg;
 }
 
-void sweep(int nodes, const std::vector<int>& degrees) {
+void sweep(int nodes, const std::vector<int>& degrees,
+           tlb::bench::JsonReport& report) {
   using namespace tlb::bench;
   std::vector<Series> series;
   series.push_back({"dlb(deg1)", 1, true, true, tlb::core::PolicyKind::Global});
@@ -74,6 +75,10 @@ void sweep(int nodes, const std::vector<int>& degrees) {
       const auto r = rt.run(wl);
       print_cell(r.makespan);
       perfect = r.perfect_time;
+      report.point(std::to_string(nodes) + " nodes / " + s.name)
+          .set("signed_imbalance", most ? imb : -imb)
+          .set("makespan", r.makespan)
+          .set("perfect", r.perfect_time);
     }
     print_cell(perfect);
     end_row();
@@ -83,7 +88,10 @@ void sweep(int nodes, const std::vector<int>& degrees) {
 }  // namespace
 
 int main() {
-  sweep(2, {2});
-  sweep(8, {2, 3, 4});
+  tlb::bench::JsonReport report(
+      "fig10", "Synthetic with one emulated 3x-slow rank");
+  report.config().set("cores_per_node", 16).set("slow_factor", 3.0);
+  sweep(2, {2}, report);
+  if (!tlb::bench::smoke()) sweep(8, {2, 3, 4}, report);
   return 0;
 }

@@ -19,7 +19,7 @@ struct Variant {
   bool drom;
 };
 
-void scenario(int nodes, double imbalance) {
+void scenario(int nodes, double imbalance, tlb::bench::JsonReport& report) {
   using namespace tlb::bench;
   const std::vector<Variant> variants = {
       {"local+lewi", tlb::core::PolicyKind::Local, true, true},
@@ -31,8 +31,8 @@ void scenario(int nodes, double imbalance) {
 
   tlb::apps::SyntheticConfig scfg;
   scfg.appranks = nodes;
-  scfg.iterations = 8;
-  scfg.tasks_per_rank = 480;
+  scfg.iterations = smoke() ? 3 : 8;
+  scfg.tasks_per_rank = smoke() ? 96 : 480;
   scfg.imbalance = imbalance;
 
   const int bins = 48;
@@ -72,6 +72,7 @@ void scenario(int nodes, double imbalance) {
   }
 
   std::printf("%8s", "conv");
+  std::vector<double> convs;
   for (std::size_t i = 0; i < variants.size(); ++i) {
     // Drop the final two bins: the end-of-run drain empties nodes at
     // slightly different instants, which reads as spurious imbalance.
@@ -80,6 +81,7 @@ void scenario(int nodes, double imbalance) {
         body, 0.0, ends[i] * (bins - 2) / bins,
         /*threshold=*/1.15,
         /*hold=*/4);
+    convs.push_back(t);
     std::printf("%14s", t < 0 ? "never" : fmt(t, 2).c_str());
   }
   std::printf("   <- first time node imbalance stays <= 1.15\n");
@@ -89,6 +91,13 @@ void scenario(int nodes, double imbalance) {
     double avg = 0.0;
     for (int b = 2 * bins / 3; b < bins; ++b) avg += rows[i][static_cast<std::size_t>(b)];
     std::printf("%14.3f", avg / (bins / 3));
+    auto& pt = report.point(variants[i].name)
+                   .set("nodes", nodes)
+                   .set("imbalance", imbalance)
+                   .set("makespan", ends[i])
+                   .set("reconverged", convs[i] >= 0.0)
+                   .set("steady_state_imbalance", avg / (bins / 3));
+    if (convs[i] >= 0.0) pt.set("convergence_s", convs[i]);
   }
   std::printf("   <- steady-state node imbalance\n");
 }
@@ -96,7 +105,10 @@ void scenario(int nodes, double imbalance) {
 }  // namespace
 
 int main() {
-  scenario(2, 2.0);
-  scenario(4, 4.0);
+  tlb::bench::JsonReport report(
+      "fig11", "Convergence of the node-level imbalance over time");
+  report.config().set("cores_per_node", 16).set("threshold", 1.15);
+  scenario(2, 2.0, report);
+  if (!tlb::bench::smoke()) scenario(4, 4.0, report);
   return 0;
 }

@@ -43,8 +43,8 @@ constexpr int kCores = 16;
 apps::SyntheticConfig workload_config() {
   apps::SyntheticConfig scfg;
   scfg.appranks = kNodes;
-  scfg.iterations = 16;
-  scfg.tasks_per_rank = 240;
+  scfg.iterations = bench::smoke() ? 4 : 16;
+  scfg.tasks_per_rank = bench::smoke() ? 48 : 240;
   scfg.imbalance = 2.0;  // apprank 0 overloaded: its helpers carry work
   return scfg;
 }
@@ -76,7 +76,8 @@ fault::FaultPlan make_plan(const std::string& kind, double inject, double recove
 }
 
 void run_combo(resil::DetectionMode detector, core::PolicyKind policy,
-               int degree, const std::string& kind) {
+               int degree, const std::string& kind,
+               bench::JsonReport& report) {
   const core::RuntimeConfig cfg = runtime_config(detector, policy, degree);
 
   apps::SyntheticWorkload wl_clean(workload_config());
@@ -114,22 +115,54 @@ void run_combo(resil::DetectionMode detector, core::PolicyKind policy,
       r.detections == 0 ? "n/a"
                         : tlb::bench::fmt(r.mean_detection_latency(), 4).c_str(),
       (unsigned long long)r.false_suspicions);
+
+  const std::string series =
+      std::string(detector == resil::DetectionMode::Oracle ? "oracle" : "phi") +
+      "/" + (policy == core::PolicyKind::Local ? "local" : "global");
+  auto& pt = report.point(series)
+                 .set("degree", degree)
+                 .set("perturbation", kind)
+                 .set("clean_makespan", clean.makespan)
+                 .set("makespan", r.makespan)
+                 .set("slowdown_pct", 100.0 * (r.makespan / clean.makespan - 1.0))
+                 .set("reconverged", first.reconverge_time >= 0.0)
+                 .set("goodput_lost_cs", first.goodput_lost)
+                 .set("tasks_reexecuted", r.tasks_reexecuted)
+                 .set("retransmissions", r.retransmissions)
+                 .set("false_positives", r.false_suspicions);
+  if (first.reconverge_time >= 0.0) {
+    pt.set("reconverge_s", first.reconverge_time);
+  }
+  if (r.detections > 0) {
+    pt.set("detection_latency_s", r.mean_detection_latency());
+  }
 }
 
 }  // namespace
 
 int main() {
+  tlb::bench::JsonReport report(
+      "fig12", "Recovery from mid-run perturbations");
+  report.config()
+      .set("nodes", kNodes)
+      .set("cores_per_node", kCores)
+      .set("inject_at_fraction", 0.35)
+      .set("recover_at_fraction", 0.70);
   std::printf(
       "detector,policy,degree,perturbation,clean_makespan,makespan,"
       "slowdown_pct,reconverge_s,goodput_lost_cs,tasks_reexecuted,"
       "retransmissions,detection_latency_s,false_positives\n");
+  const std::vector<int> degrees = tlb::bench::smoke()
+                                       ? std::vector<int>{2}
+                                       : std::vector<int>{2, 3, 4};
   for (const resil::DetectionMode detector :
        {resil::DetectionMode::Oracle, resil::DetectionMode::Heartbeat}) {
     for (const core::PolicyKind policy :
          {core::PolicyKind::Local, core::PolicyKind::Global}) {
-      for (const int degree : {2, 3, 4}) {
+      if (tlb::bench::smoke() && policy == core::PolicyKind::Local) continue;
+      for (const int degree : degrees) {
         for (const char* kind : {"slowdown", "link-degrade", "crash"}) {
-          run_combo(detector, policy, degree, kind);
+          run_combo(detector, policy, degree, kind, report);
         }
       }
     }

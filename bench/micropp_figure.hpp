@@ -13,8 +13,8 @@ namespace tlb::bench {
 inline apps::micropp::MicroPPConfig micropp_config(int appranks) {
   apps::micropp::MicroPPConfig cfg;
   cfg.appranks = appranks;
-  cfg.iterations = 16;
-  cfg.elements_per_rank = 8192;
+  cfg.iterations = smoke() ? 2 : 16;
+  cfg.elements_per_rank = smoke() ? 1024 : 8192;
   cfg.elements_per_task = 16;
   cfg.heavy_rank_fraction = 0.25;
   cfg.nonlinear_fraction_heavy = 0.55;
@@ -23,12 +23,21 @@ inline apps::micropp::MicroPPConfig micropp_config(int appranks) {
   return cfg;
 }
 
-/// Runs the weak-scaling sweep for one apprank placement and prints a
-/// table: rows = node counts, columns = series + perfect bound.
+/// Runs the weak-scaling sweep for one apprank placement; prints a table
+/// (rows = node counts, columns = series + perfect bound) and writes
+/// BENCH_<figure>.json. In smoke mode the sweep is cut to its two
+/// smallest node counts.
 inline void run_micropp_weak_scaling(core::PolicyKind policy,
                                      int appranks_per_node,
-                                     const std::vector<int>& node_counts,
-                                     const char* title) {
+                                     std::vector<int> node_counts,
+                                     const char* title, const char* figure) {
+  if (smoke() && node_counts.size() > 2) node_counts.resize(2);
+  JsonReport report(figure, title);
+  report.config()
+      .set("policy", policy == core::PolicyKind::Global ? "global" : "local")
+      .set("appranks_per_node", appranks_per_node)
+      .set("cores_per_node", 48);
+
   const auto series = paper_series(policy, {2, 3, 4, 8});
   std::vector<std::string> cols = {"nodes"};
   for (const auto& s : series) cols.push_back(s.name);
@@ -55,6 +64,11 @@ inline void run_micropp_weak_scaling(core::PolicyKind policy,
       const auto r = rt.run(wl);
       print_cell(r.makespan);
       perfect = r.perfect_time;
+      report.point(s.name)
+          .set("nodes", nodes)
+          .set("makespan", r.makespan)
+          .set("perfect", r.perfect_time)
+          .set("offload_fraction", r.offload_fraction());
     }
     print_cell(perfect);
     end_row();

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "core/policies.hpp"
+#include "net/config.hpp"
 #include "resil/config.hpp"
 #include "sim/cluster_spec.hpp"
 #include "sim/time.hpp"
@@ -49,6 +50,14 @@ struct RuntimeConfig {
   /// bit-identical; DetectionMode::Heartbeat turns on phi-accrual
   /// heartbeats, task leases, and outlier quarantine.
   resil::ResilConfig resil;
+
+  /// Contention-aware interconnect (tlb::net). Disabled by default: the
+  /// analytic latency + bytes/bandwidth cost model stays in force and the
+  /// run is bit-identical to a build without the subsystem. When enabled,
+  /// inter-node payloads (eager input transfers, barrier pulls, vmpi
+  /// point-to-point messages) become flows over shared fat-tree links with
+  /// max-min fair bandwidth sharing.
+  net::NetConfig net;
 
   std::uint64_t seed = 42;       ///< expander generation seed
   bool record_traces = true;     ///< keep busy/owned series for figures

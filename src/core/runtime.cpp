@@ -124,6 +124,30 @@ ClusterRuntime::ClusterRuntime(RuntimeConfig config)
       [this] { return engine_.now(); }, topology_->worker_count());
   recorder_ = std::make_unique<trace::Recorder>(topology_->node_count(),
                                                 topology_->apprank_count());
+
+  // Contention-aware interconnect (tlb::net): replace the analytic cost
+  // model with a shared-link fabric. Both communicators route their
+  // inter-node payloads through it; eager input transfers and barrier
+  // pulls become per-source flows (finish_assignment / enter_barrier).
+  if (config_.net.enabled) {
+    const sim::LinkSpec& link = config_.cluster.link;
+    const net::NetConfig& nconf = config_.net;
+    net::NetTopology topo =
+        nconf.topology == net::TopologyKind::Crossbar
+            ? net::NetTopology::crossbar(topology_->node_count(),
+                                         nconf.nic_bw(link),
+                                         nconf.base_latency(link))
+            : net::NetTopology::fat_tree(
+                  topology_->node_count(), nconf.leaf_radix, nconf.spines,
+                  nconf.nic_bw(link), nconf.uplink_bw(link),
+                  nconf.base_latency(link), nconf.per_hop_latency);
+    fabric_ = std::make_unique<net::Fabric>(engine_, std::move(topo));
+    fabric_->set_congestion_threshold(nconf.congestion_threshold);
+    fabric_->set_recorder(recorder_.get());
+    app_comm_->attach_fabric(fabric_.get());
+    ctrl_comm_->attach_fabric(fabric_.get());
+  }
+
   workers_.resize(static_cast<std::size_t>(topology_->worker_count()));
   appranks_.resize(static_cast<std::size_t>(topology_->apprank_count()));
 }
@@ -208,21 +232,38 @@ void ClusterRuntime::enter_barrier(int apprank) {
   // node: pull any remote result data home first (§4, §3.2 no automatic
   // write-back — this is the point where values are actually needed).
   const auto regions = workload_->barrier_regions(apprank, st.iteration);
-  const std::uint64_t bytes =
-      st.locations->pull(regions, topology_->home_node(apprank));
-  sim::SimTime delay = 0.0;
-  if (bytes > 0) {
-    delay = faulted_transfer_time(bytes);
-    result_.transfer_bytes += bytes;
-  }
-  engine_.after(delay, [this, apprank] {
+  const int home = topology_->home_node(apprank);
+  auto do_barrier = [this, apprank] {
     app_comm_->barrier(apprank, [this] {
       if (++barrier_arrivals_ == topology_->apprank_count()) {
         barrier_arrivals_ = 0;
         on_barrier_done();
       }
     });
-  });
+  };
+  if (fabric_ != nullptr) {
+    // Net mode: each remote piece streams home as its own flow (sharing
+    // the fabric with every other transfer); the barrier is entered when
+    // the last one lands. Home nodes never crash, so no teardown needed.
+    const auto sources = st.locations->pull_by_source(regions, home);
+    auto remaining = std::make_shared<int>(0);
+    for (const auto& [src, bytes] : sources) {
+      result_.transfer_bytes += bytes;
+      *remaining += 1;
+      fabric_->start_flow(src, home, bytes, [remaining, do_barrier] {
+        if (--*remaining == 0) do_barrier();
+      });
+    }
+    if (*remaining == 0) do_barrier();
+    return;
+  }
+  const std::uint64_t bytes = st.locations->pull(regions, home);
+  sim::SimTime delay = 0.0;
+  if (bytes > 0) {
+    delay = faulted_transfer_time(bytes);
+    result_.transfer_bytes += bytes;
+  }
+  engine_.after(delay, do_barrier);
 }
 
 void ClusterRuntime::on_barrier_done() {
@@ -371,9 +412,32 @@ void ClusterRuntime::assign_to_worker(nanos::TaskId id, WorkerId w) {
 void ClusterRuntime::finish_assignment(nanos::TaskId id, WorkerId w) {
   nanos::Task& task = pool_.get(id);
   const WorkerInfo& info = topology_->worker(w);
+  nanos::DataLocations& loc =
+      *appranks_[static_cast<std::size_t>(task.apprank)].locations;
+  if (fabric_ != nullptr) {
+    // Net mode: one flow per source node holding a missing piece of the
+    // task's input. The task may not compute before the last flow lands
+    // (on_input_arrived); data_ready_at is refined there.
+    const auto sources = loc.missing_by_source(task.accesses, info.node);
+    std::uint64_t bytes = 0;
+    PendingData pd;
+    for (const auto& [src, b] : sources) {
+      bytes += b;
+      pd.flows.push_back(fabric_->start_flow(
+          src, info.node, b, [this, id] { on_input_arrived(id); }));
+    }
+    task.transfer_bytes = bytes;
+    task.data_ready_at = engine_.now();
+    if (bytes > 0) {
+      result_.transfer_bytes += bytes;
+      pd.remaining = static_cast<int>(pd.flows.size());
+      pending_data_[id] = std::move(pd);
+    }
+    workers_[static_cast<std::size_t>(w)].queue.push_back(id);
+    return;
+  }
   const std::uint64_t bytes =
-      appranks_[static_cast<std::size_t>(task.apprank)]
-          .locations->missing_input_bytes(task.accesses, info.node);
+      loc.missing_input_bytes(task.accesses, info.node);
   task.transfer_bytes = bytes;
   sim::SimTime cost = 0.0;
   if (bytes > 0) {
@@ -426,7 +490,6 @@ void ClusterRuntime::start_task(nanos::TaskId id, WorkerId w, int core) {
   dlb::NodeCores& nc = *node_cores_[static_cast<std::size_t>(info.node)];
   nc.task_started(core);
 
-  const double speed = node_speed_[static_cast<std::size_t>(info.node)];
   sim::SimTime transfer_wait =
       std::max(0.0, task.data_ready_at - engine_.now());
   if (nc.owner(core) != w) {
@@ -434,7 +497,6 @@ void ClusterRuntime::start_task(nanos::TaskId id, WorkerId w, int core) {
     // are never as efficient as owned ones).
     transfer_wait += config_.borrowed_core_overhead;
   }
-  const sim::SimTime compute = task.work / speed;
 
   RunningExec run;
   run.task = id;
@@ -449,27 +511,75 @@ void ClusterRuntime::start_task(nanos::TaskId id, WorkerId w, int core) {
   }
   const std::uint64_t exec_id = next_exec_++;
 
+  auto pd = pending_data_.find(id);
+  if (pd != pending_data_.end() && pd->second.remaining > 0) {
+    // Net mode: the inputs are still streaming over the fabric. Park the
+    // execution (core occupied, not busy — same semantics as the analytic
+    // transfer wait); the last flow's arrival resumes it. The borrowed-
+    // core friction is paid after the data lands, mirroring the analytic
+    // path where it extends the transfer wait.
+    pd->second.exec = exec_id;
+    pd->second.exec_waiting = true;
+    pd->second.overhead = transfer_wait;
+    running_.emplace(exec_id, run);
+    return;
+  }
+
+  running_.emplace(exec_id, run);
+  begin_compute(exec_id, transfer_wait);
+}
+
+void ClusterRuntime::begin_compute(std::uint64_t exec_id, sim::SimTime wait) {
+  auto it = running_.find(exec_id);
+  assert(it != running_.end());
+  RunningExec& run = it->second;
+  const WorkerId w = run.worker;
+  const int node = run.node;
+  const int apprank = topology_->worker(w).apprank;
+  const double speed = node_speed_[static_cast<std::size_t>(node)];
+  const sim::SimTime compute = pool_.get(run.task).work / speed;
+
   // Busy accounting covers the compute phase only: a core waiting for data
   // is occupied but not busy (the paper's borrowed-core under-utilisation).
-  if (transfer_wait > 0.0) {
-    run.busy_event = engine_.after(
-        transfer_wait,
-        [this, exec_id, w, node = info.node, apprank = info.apprank] {
+  if (wait > 0.0) {
+    run.busy_event =
+        engine_.after(wait, [this, exec_id, w, node, apprank] {
           talp_->on_busy_delta(w, +1);
           recorder_->busy_delta(engine_.now(), node, apprank, +1);
-          auto it = running_.find(exec_id);
-          assert(it != running_.end());
-          it->second.busy_applied = true;
+          auto it2 = running_.find(exec_id);
+          assert(it2 != running_.end());
+          it2->second.busy_applied = true;
         });
   } else {
     talp_->on_busy_delta(w, +1);
-    recorder_->busy_delta(engine_.now(), info.node, info.apprank, +1);
+    recorder_->busy_delta(engine_.now(), node, apprank, +1);
     run.busy_applied = true;
   }
-  run.finish_event = engine_.after(transfer_wait + compute, [this, exec_id] {
+  run.finish_event = engine_.after(wait + compute, [this, exec_id] {
     on_task_finished(exec_id);
   });
-  running_.emplace(exec_id, run);
+}
+
+void ClusterRuntime::on_input_arrived(nanos::TaskId id) {
+  auto it = pending_data_.find(id);
+  if (it == pending_data_.end()) return;  // torn down meanwhile
+  PendingData& pd = it->second;
+  assert(pd.remaining > 0);
+  if (--pd.remaining > 0) return;
+  pool_.get(id).data_ready_at = engine_.now();
+  const bool waiting = pd.exec_waiting;
+  const std::uint64_t exec = pd.exec;
+  const sim::SimTime overhead = pd.overhead;
+  pending_data_.erase(it);
+  if (waiting) begin_compute(exec, overhead);
+}
+
+void ClusterRuntime::cancel_input_flows(nanos::TaskId id) {
+  if (fabric_ == nullptr) return;
+  auto it = pending_data_.find(id);
+  if (it == pending_data_.end()) return;
+  for (const net::FlowId f : it->second.flows) fabric_->cancel(f);
+  pending_data_.erase(it);
 }
 
 void ClusterRuntime::on_task_finished(std::uint64_t exec_id) {
@@ -770,6 +880,12 @@ void ClusterRuntime::set_link_fault(const vmpi::LinkFault& fault) {
   link_fault_ = fault;
   app_comm_->set_link_fault(fault);
   ctrl_comm_->set_link_fault(fault);
+  // Net mode: the latency/bandwidth multipliers act on the fabric itself
+  // (every in-flight flow re-shares the degraded links); loss and jitter
+  // stay with the communicators.
+  if (fabric_ != nullptr) {
+    fabric_->set_global_fault(fault.latency_mult, fault.bandwidth_mult);
+  }
 }
 
 sim::SimTime ClusterRuntime::faulted_transfer_time(std::uint64_t bytes) {
@@ -794,6 +910,10 @@ void ClusterRuntime::rescue_task(nanos::TaskId id, WorkerId from,
   nanos::Task& task = pool_.get(id);
   assert(task.state == nanos::TaskState::Scheduled ||
          task.state == nanos::TaskState::Running);
+  // Net mode: input flows streaming towards the voided assignment's node
+  // are torn down (their bandwidth returns to the surviving flows); the
+  // re-assignment below starts fresh ones.
+  cancel_input_flows(id);
   if (charge_worker) workers_[static_cast<std::size_t>(from)].inflight -= 1;
   task.state = nanos::TaskState::Ready;
   task.scheduled_node = -1;
@@ -835,6 +955,15 @@ void ClusterRuntime::crash_worker(WorkerId w) {
       engine_.cancel(run.busy_event);
     }
     nc.task_finished(run.core);
+    // Net mode: unhook a parked execution from its pending-data entry so
+    // a late flow completion does not resume a dead exec id. (The flows
+    // themselves are cancelled when the task is rescued; under Heartbeat
+    // detection that happens at lease expiry.)
+    auto pd = pending_data_.find(run.task);
+    if (pd != pending_data_.end() && pd->second.exec_waiting &&
+        pd->second.exec == it->first) {
+      pd->second.exec_waiting = false;
+    }
     if (!run.ghost) lost.push_back(run.task);
     it = running_.erase(it);
   }
@@ -1096,13 +1225,27 @@ void ClusterRuntime::requeue_leased_task(nanos::TaskId id) {
   auto& q = workers_[static_cast<std::size_t>(w)].queue;
   q.erase(std::remove(q.begin(), q.end(), id), q.end());
   // Disown a live execution into a ghost: it keeps burning its core until
-  // it finishes, but its completion will name a stale epoch.
-  for (auto& [eid, run] : running_) {
-    (void)eid;
-    if (run.task == id && run.worker == w && !run.ghost &&
-        run.epoch == lease->epoch) {
-      run.ghost = true;
+  // it finishes, but its completion will name a stale epoch. An execution
+  // still parked waiting for its input flows (net mode) is aborted outright
+  // instead — rescue_task below cancels those flows, so the ghost could
+  // never finish: free its core and erase it.
+  for (auto rit = running_.begin(); rit != running_.end();) {
+    RunningExec& run = rit->second;
+    if (run.task != id || run.worker != w || run.ghost ||
+        run.epoch != lease->epoch) {
+      ++rit;
+      continue;
     }
+    auto pd = pending_data_.find(id);
+    if (pd != pending_data_.end() && pd->second.exec_waiting &&
+        pd->second.exec == rit->first) {
+      pd->second.exec_waiting = false;
+      node_cores_[static_cast<std::size_t>(run.node)]->task_finished(run.core);
+      rit = running_.erase(rit);
+      continue;
+    }
+    run.ghost = true;
+    ++rit;
   }
   const bool settled = lease->completion_in_flight;
   leases_.revoke(id);

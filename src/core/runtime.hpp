@@ -49,6 +49,7 @@
 #include "nanos/data_location.hpp"
 #include "nanos/dependency_graph.hpp"
 #include "nanos/task.hpp"
+#include "net/fabric.hpp"
 #include "resil/config.hpp"
 #include "resil/lease.hpp"
 #include "resil/phi_detector.hpp"
@@ -82,6 +83,13 @@ class ClusterRuntime {
   [[nodiscard]] const RuntimeConfig& config() const { return config_; }
   [[nodiscard]] sim::SimTime now() const { return engine_.now(); }
   [[nodiscard]] const nanos::TaskPool& tasks() const { return pool_; }
+
+  /// The contention-aware fabric (RuntimeConfig::net.enabled), or nullptr
+  /// when the analytic cost model is active. Remains readable after run()
+  /// for congestion inspection (link utilization, FCT quantiles). The
+  /// non-const overload lets fault injectors degrade individual links.
+  [[nodiscard]] net::Fabric* fabric() { return fabric_.get(); }
+  [[nodiscard]] const net::Fabric* fabric() const { return fabric_.get(); }
 
   // --- perturbation / resilience hooks (tlb::fault) -------------------------
 
@@ -174,6 +182,18 @@ class ClusterRuntime {
     sim::EventId busy_event = sim::kInvalidEvent;
     sim::EventId finish_event = sim::kInvalidEvent;
   };
+  /// Input transfers in flight for a scheduled task (net mode only): the
+  /// task may not begin computing until `remaining` flows have delivered.
+  /// When the task claims a core before its data lands, `exec_waiting`
+  /// parks the execution (core occupied, not busy) and the last flow's
+  /// completion resumes it via begin_compute().
+  struct PendingData {
+    std::vector<net::FlowId> flows;
+    int remaining = 0;
+    std::uint64_t exec = 0;     ///< parked execution id
+    bool exec_waiting = false;  ///< exec is valid and parked
+    sim::SimTime overhead = 0.0;  ///< borrowed-core friction, paid on arrival
+  };
   struct ApprankState {
     std::unique_ptr<nanos::DependencyGraph> deps;
     std::unique_ptr<nanos::DataLocations> locations;
@@ -195,6 +215,16 @@ class ClusterRuntime {
   void assign_to_worker(nanos::TaskId id, WorkerId w);
   void finish_assignment(nanos::TaskId id, WorkerId w);
   void start_task(nanos::TaskId id, WorkerId w, int core);
+  /// Schedules the busy +1 and completion events of a started execution
+  /// after `wait` seconds of occupied-not-busy time (remaining transfer
+  /// wait and/or borrowed-core friction). Tail of start_task(), split out
+  /// so net mode can defer it to the last input flow's arrival.
+  void begin_compute(std::uint64_t exec_id, sim::SimTime wait);
+  /// One input flow of `id` delivered (net mode); resumes the parked
+  /// execution when it was the last.
+  void on_input_arrived(nanos::TaskId id);
+  /// Tears down any in-flight input flows of `id` (crash / re-queue).
+  void cancel_input_flows(nanos::TaskId id);
   void on_task_finished(std::uint64_t exec_id);
   /// Home-side completion bookkeeping: dependency release, taskwait
   /// accounting, barrier entry.
@@ -267,6 +297,10 @@ class ClusterRuntime {
   std::vector<std::unique_ptr<dlb::DromModule>> drom_;
   std::unique_ptr<dlb::TalpModule> talp_;
   std::unique_ptr<trace::Recorder> recorder_;
+  /// Non-null iff config_.net.enabled (declared after recorder_: the
+  /// fabric holds a raw pointer to the recorder).
+  std::unique_ptr<net::Fabric> fabric_;
+  std::map<nanos::TaskId, PendingData> pending_data_;
   nanos::TaskPool pool_;
   std::vector<ApprankState> appranks_;
   std::vector<WorkerState> workers_;

@@ -75,6 +75,30 @@ std::uint64_t DataLocations::scan(std::uint64_t start, std::uint64_t end,
   return counted;
 }
 
+void DataLocations::scan_sources(
+    std::uint64_t start, std::uint64_t end, int node,
+    std::map<int, std::uint64_t>& by_source) const {
+  std::uint64_t cursor = start;
+  auto it = segments_.upper_bound(start);
+  if (it != segments_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.end > start) it = prev;
+  }
+  while (cursor < end) {
+    std::uint64_t span_end = end;
+    int loc = home_;
+    if (it != segments_.end() && it->first <= cursor) {
+      span_end = std::min(it->second.end, end);
+      loc = it->second.node;
+      ++it;
+    } else if (it != segments_.end() && it->first < end) {
+      span_end = it->first;  // gap before next segment: home-resident
+    }
+    if (loc != node) by_source[loc] += span_end - cursor;
+    cursor = span_end;
+  }
+}
+
 std::uint64_t DataLocations::missing_input_bytes(
     const std::vector<AccessRegion>& accesses, int node) const {
   std::uint64_t bytes = 0;
@@ -118,6 +142,27 @@ std::uint64_t DataLocations::pull(const std::vector<AccessRegion>& accesses,
                   /*relocate=*/true);
   }
   return bytes;
+}
+
+std::vector<std::pair<int, std::uint64_t>> DataLocations::missing_by_source(
+    const std::vector<AccessRegion>& accesses, int node) const {
+  std::map<int, std::uint64_t> by_source;
+  for (const AccessRegion& a : accesses) {
+    if (!a.reads() || a.size == 0) continue;
+    scan_sources(a.start, a.end(), node, by_source);
+  }
+  return {by_source.begin(), by_source.end()};
+}
+
+std::vector<std::pair<int, std::uint64_t>> DataLocations::pull_by_source(
+    const std::vector<AccessRegion>& accesses, int node) {
+  std::map<int, std::uint64_t> by_source;
+  for (const AccessRegion& a : accesses) {
+    if (a.size == 0) continue;
+    scan_sources(a.start, a.end(), node, by_source);
+    set_range(a.start, a.end(), node);
+  }
+  return {by_source.begin(), by_source.end()};
 }
 
 int DataLocations::location_of(std::uint64_t addr) const {

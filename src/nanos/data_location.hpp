@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "nanos/task.hpp"
@@ -41,6 +42,19 @@ class DataLocations {
   /// at an MPI boundary). Returns the bytes that had to move.
   std::uint64_t pull(const std::vector<AccessRegion>& accesses, int node);
 
+  /// Per-source breakdown of missing_input_bytes(): the input bytes that
+  /// would have to move to `node`, grouped by the node currently holding
+  /// them, in ascending source-node order (deterministic). The totals sum
+  /// to missing_input_bytes(). Used by the contention-aware interconnect
+  /// (tlb::net) to route one flow per source.
+  [[nodiscard]] std::vector<std::pair<int, std::uint64_t>> missing_by_source(
+      const std::vector<AccessRegion>& accesses, int node) const;
+
+  /// Per-source breakdown of pull(): relocates the ranges to `node` and
+  /// reports where the moved bytes came from, ascending source-node order.
+  std::vector<std::pair<int, std::uint64_t>> pull_by_source(
+      const std::vector<AccessRegion>& accesses, int node);
+
   /// Location of a single byte (for tests).
   [[nodiscard]] int location_of(std::uint64_t addr) const;
 
@@ -56,6 +70,10 @@ class DataLocations {
   [[nodiscard]] std::uint64_t scan_const(std::uint64_t start,
                                          std::uint64_t end, int node,
                                          bool count_not_on) const;
+  /// Adds the bytes in [start, end) not resident on `node` to
+  /// `by_source[holder]`.
+  void scan_sources(std::uint64_t start, std::uint64_t end, int node,
+                    std::map<int, std::uint64_t>& by_source) const;
   void set_range(std::uint64_t start, std::uint64_t end, int node);
 
   int home_;

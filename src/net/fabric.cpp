@@ -1,0 +1,230 @@
+#include "net/fabric.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace tlb::net {
+
+namespace {
+/// Residual bytes below this are complete (guards float drift when a
+/// flow's remaining time is recomputed many times).
+constexpr double kByteEpsilon = 1e-6;
+}  // namespace
+
+Fabric::Fabric(sim::Engine& engine, NetTopology topology)
+    : engine_(engine), topo_(std::move(topology)) {
+  const std::size_t links = static_cast<std::size_t>(topo_.link_count());
+  link_mult_.assign(links, 1.0);
+  util_series_.resize(links);
+  last_util_.assign(links, 0.0);
+  congested_.assign(links, 0);
+}
+
+double Fabric::effective_capacity(LinkId link) const {
+  return topo_.link(link).capacity * bandwidth_mult_ *
+         link_mult_[static_cast<std::size_t>(link)];
+}
+
+FlowId Fabric::start_flow(NodeId src, NodeId dst, std::uint64_t bytes,
+                          std::function<void()> on_complete,
+                          sim::SimTime extra_latency) {
+  assert(src != dst && "intra-node traffic never enters the fabric");
+  assert(src >= 0 && src < topo_.node_count());
+  assert(dst >= 0 && dst < topo_.node_count());
+  const FlowId id = next_id_++;
+  ++started_;
+
+  Flow flow;
+  flow.src = src;
+  flow.dst = dst;
+  flow.bytes = bytes;
+  flow.remaining = static_cast<double>(bytes);
+  flow.started_at = engine_.now();
+  flow.on_complete = std::move(on_complete);
+
+  const sim::SimTime latency =
+      topo_.path_latency(src, dst) * latency_mult_ + extra_latency;
+  auto [it, inserted] = flows_.emplace(id, std::move(flow));
+  assert(inserted);
+  (void)inserted;
+  it->second.pending_event =
+      engine_.after(latency, [this, id] { inject(id); });
+  return id;
+}
+
+void Fabric::inject(FlowId id) {
+  auto it = flows_.find(id);
+  assert(it != flows_.end());
+  Flow& flow = it->second;
+  flow.pending_event = sim::kInvalidEvent;
+  if (flow.remaining <= kByteEpsilon) {
+    // Zero-byte payload (control message): latency was the whole cost.
+    complete(id);
+    return;
+  }
+  flow.injected = true;
+  flow.settled_at = engine_.now();
+  recompute();
+}
+
+void Fabric::complete(FlowId id) {
+  auto it = flows_.find(id);
+  assert(it != flows_.end());
+  Flow flow = std::move(it->second);
+  flows_.erase(it);
+  ++completed_;
+  if (flow.bytes > 0) fcts_.push_back(engine_.now() - flow.started_at);
+  delivered_ += flow.bytes;
+  if (flow.injected) recompute();
+  if (flow.on_complete) flow.on_complete();
+}
+
+void Fabric::cancel(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;  // completed or never existed
+  const bool injected = it->second.injected;
+  engine_.cancel(it->second.pending_event);
+  flows_.erase(it);
+  ++cancelled_;
+  if (injected) recompute();  // released bandwidth re-shared immediately
+}
+
+void Fabric::set_global_fault(double latency_mult, double bandwidth_mult) {
+  assert(latency_mult > 0.0 && bandwidth_mult > 0.0);
+  latency_mult_ = latency_mult;
+  bandwidth_mult_ = bandwidth_mult;
+  recompute();
+}
+
+void Fabric::degrade_link(LinkId link, double capacity_mult) {
+  assert(link >= 0 && link < topo_.link_count());
+  assert(capacity_mult > 0.0);
+  link_mult_[static_cast<std::size_t>(link)] = capacity_mult;
+  recompute();
+}
+
+void Fabric::recompute() {
+  const sim::SimTime now = engine_.now();
+
+  // 1. Settle: bank the bytes each flow streamed since its last update and
+  // cancel the stale completion events.
+  for (auto& [id, flow] : flows_) {
+    (void)id;
+    if (!flow.injected) continue;
+    flow.remaining -= flow.rate * (now - flow.settled_at);
+    if (flow.remaining < 0.0) flow.remaining = 0.0;
+    flow.settled_at = now;
+    engine_.cancel(flow.pending_event);
+    flow.pending_event = sim::kInvalidEvent;
+  }
+
+  // 2. Progressive filling: repeatedly find the bottleneck link (smallest
+  // fair share = residual capacity / unfrozen flows) and freeze its flows
+  // at that share. Iterating flows in id order keeps ties deterministic.
+  std::vector<double> residual(static_cast<std::size_t>(topo_.link_count()));
+  std::vector<int> unfrozen(static_cast<std::size_t>(topo_.link_count()), 0);
+  for (int l = 0; l < topo_.link_count(); ++l) {
+    residual[static_cast<std::size_t>(l)] = effective_capacity(l);
+  }
+  int remaining_flows = 0;
+  for (auto& [id, flow] : flows_) {
+    (void)id;
+    if (!flow.injected) continue;
+    flow.rate = 0.0;
+    ++remaining_flows;
+    for (LinkId l : topo_.route(flow.src, flow.dst)) {
+      ++unfrozen[static_cast<std::size_t>(l)];
+    }
+  }
+  std::vector<char> frozen_flow;  // parallel to iteration below
+  while (remaining_flows > 0) {
+    double share = std::numeric_limits<double>::infinity();
+    for (int l = 0; l < topo_.link_count(); ++l) {
+      const std::size_t sl = static_cast<std::size_t>(l);
+      if (unfrozen[sl] > 0) {
+        share = std::min(share, residual[sl] / unfrozen[sl]);
+      }
+    }
+    assert(std::isfinite(share));
+    // Freeze every unfrozen flow crossing a link at the bottleneck share.
+    bool froze_any = false;
+    for (auto& [id, flow] : flows_) {
+      (void)id;
+      if (!flow.injected || flow.rate > 0.0) continue;
+      bool at_bottleneck = false;
+      for (LinkId l : topo_.route(flow.src, flow.dst)) {
+        const std::size_t sl = static_cast<std::size_t>(l);
+        if (residual[sl] / unfrozen[sl] <= share) {
+          at_bottleneck = true;
+          break;
+        }
+      }
+      if (!at_bottleneck) continue;
+      flow.rate = share;
+      froze_any = true;
+      --remaining_flows;
+      for (LinkId l : topo_.route(flow.src, flow.dst)) {
+        const std::size_t sl = static_cast<std::size_t>(l);
+        residual[sl] = std::max(0.0, residual[sl] - share);
+        --unfrozen[sl];
+      }
+    }
+    assert(froze_any && "progressive filling must freeze a flow per round");
+    (void)froze_any;
+  }
+
+  // 3. Reschedule completions from the new rates.
+  for (auto& [id, flow] : flows_) {
+    if (!flow.injected) continue;
+    assert(flow.rate > 0.0);
+    const sim::SimTime left =
+        flow.remaining <= kByteEpsilon ? 0.0 : flow.remaining / flow.rate;
+    flow.pending_event =
+        engine_.after(left, [this, id = id] { complete(id); });
+  }
+
+  // 4. Record utilization and congestion transitions.
+  std::vector<double> load(static_cast<std::size_t>(topo_.link_count()), 0.0);
+  std::vector<int> crossing(static_cast<std::size_t>(topo_.link_count()), 0);
+  for (const auto& [id, flow] : flows_) {
+    (void)id;
+    if (!flow.injected) continue;
+    for (LinkId l : topo_.route(flow.src, flow.dst)) {
+      load[static_cast<std::size_t>(l)] += flow.rate;
+      ++crossing[static_cast<std::size_t>(l)];
+    }
+  }
+  for (int l = 0; l < topo_.link_count(); ++l) {
+    const std::size_t sl = static_cast<std::size_t>(l);
+    const double util = std::min(1.0, load[sl] / effective_capacity(l));
+    if (util != last_util_[sl]) {
+      util_series_[sl].set(now, util);
+      last_util_[sl] = util;
+    }
+    const bool congested =
+        util >= congestion_threshold_ && crossing[sl] >= 2;
+    if (congested != (congested_[sl] != 0)) {
+      congested_[sl] = congested ? 1 : 0;
+      if (recorder_ != nullptr) {
+        recorder_->mark(now, (congested ? "net congestion: "
+                                        : "net cleared: ") +
+                                 topo_.link(l).name);
+      }
+    }
+  }
+}
+
+double Fabric::fct_quantile(double q) const {
+  if (fcts_.empty()) return 0.0;
+  std::vector<double> sorted = fcts_;
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace tlb::net

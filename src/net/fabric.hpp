@@ -1,0 +1,158 @@
+// Flow-level interconnect fabric with max-min fair bandwidth sharing.
+//
+// A Fabric simulates payload transfers as *flows* over the shared links of
+// a NetTopology. Active flows crossing a link divide its capacity max-min
+// fairly (progressive filling): rates are recomputed on every flow start,
+// finish, cancellation, and fault change, and each flow's completion event
+// is rescheduled from its remaining bytes and new rate. A flow first pays
+// the route's wire latency, then streams its bytes at the fair rate.
+//
+// Determinism: flows are stored and iterated in flow-id order, routing is
+// a pure function of the topology, and the fair-share computation is
+// plain floating-point arithmetic — no RNG, no address-dependent
+// iteration. Two runs that start the same flows at the same times observe
+// identical rates and completion times.
+//
+// Fault composition (tlb::fault): a global LinkFault maps onto the fabric
+// as set_global_fault() — latency_mult scales the wire latency of flows
+// started while active, bandwidth_mult scales every link's capacity (all
+// in-flight flows immediately re-share the reduced fabric). Individual
+// physical links can additionally be degraded with degrade_link(), which
+// slows exactly the flows whose routes cross them.
+//
+// Observability: per-link utilization StepSeries, flow-completion-time
+// samples with quantiles (p50/p99), and — when a trace::Recorder is
+// attached — timeline marks at the instants a link becomes congested
+// (utilization >= threshold with >= 2 competing flows) and clears.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "sim/engine.hpp"
+#include "trace/recorder.hpp"
+#include "trace/step_series.hpp"
+
+namespace tlb::net {
+
+using FlowId = std::uint64_t;
+inline constexpr FlowId kInvalidFlow = 0;
+
+class Fabric {
+ public:
+  Fabric(sim::Engine& engine, NetTopology topology);
+
+  [[nodiscard]] const NetTopology& topology() const { return topo_; }
+
+  /// Starts a transfer of `bytes` from `src` to `dst`: after the route's
+  /// wire latency (times the global latency multiplier, plus
+  /// `extra_latency` — per-message jitter) the payload enters the fabric
+  /// and streams at the max-min fair rate; `on_complete` fires when the
+  /// last byte arrives. Zero-byte transfers complete at latency cost
+  /// alone. `src == dst` is not a fabric transfer (asserts).
+  FlowId start_flow(NodeId src, NodeId dst, std::uint64_t bytes,
+                    std::function<void()> on_complete,
+                    sim::SimTime extra_latency = 0.0);
+
+  /// Tears down an in-flight flow: its bandwidth is released to the
+  /// remaining flows and its completion callback never fires. No-op for
+  /// completed/unknown ids (idempotent).
+  void cancel(FlowId id);
+
+  /// True while the flow is in latency or streaming its bytes.
+  [[nodiscard]] bool active(FlowId id) const { return flows_.count(id) != 0; }
+  [[nodiscard]] int active_flows() const {
+    return static_cast<int>(flows_.size());
+  }
+
+  // --- fault composition (tlb::fault) ----------------------------------------
+
+  /// Applies a cluster-wide LinkFault to the fabric. Multipliers of 1.0
+  /// restore the nominal fabric.
+  void set_global_fault(double latency_mult, double bandwidth_mult);
+
+  /// Degrades one physical link's capacity (0 < mult; 1.0 restores).
+  /// Every flow whose route crosses the link immediately slows down.
+  void degrade_link(LinkId link, double capacity_mult);
+
+  /// Current effective capacity of a link (nominal x global x per-link).
+  [[nodiscard]] double effective_capacity(LinkId link) const;
+
+  // --- observability -----------------------------------------------------------
+
+  /// Utilization (load / effective capacity, in [0, 1]) of a link over
+  /// time, recorded at every rate recomputation.
+  [[nodiscard]] const trace::StepSeries& link_utilization(LinkId link) const {
+    return util_series_.at(static_cast<std::size_t>(link));
+  }
+  [[nodiscard]] double peak_utilization(LinkId link) const {
+    return util_series_.at(static_cast<std::size_t>(link)).max_value();
+  }
+
+  /// Completion times (latency + streaming, seconds) of finished *payload*
+  /// flows (bytes > 0), in completion order. Zero-byte control messages
+  /// complete at pure latency and are excluded so the distribution
+  /// describes data-transfer performance.
+  [[nodiscard]] const std::vector<double>& completion_times() const {
+    return fcts_;
+  }
+  /// Quantile of the flow-completion-time distribution (q in [0, 1]);
+  /// 0 when no payload flow has completed. fct_quantile(0.5) is the
+  /// median, fct_quantile(0.99) the congestion tail.
+  [[nodiscard]] double fct_quantile(double q) const;
+
+  [[nodiscard]] std::uint64_t flows_started() const { return started_; }
+  [[nodiscard]] std::uint64_t flows_completed() const { return completed_; }
+  [[nodiscard]] std::uint64_t flows_cancelled() const { return cancelled_; }
+  [[nodiscard]] std::uint64_t bytes_delivered() const { return delivered_; }
+
+  /// Attaches a recorder that receives "net congestion"/"net cleared"
+  /// timeline marks for links crossing `congestion_threshold`.
+  void set_recorder(trace::Recorder* recorder) { recorder_ = recorder; }
+  void set_congestion_threshold(double threshold) {
+    congestion_threshold_ = threshold;
+  }
+
+ private:
+  struct Flow {
+    NodeId src = -1;
+    NodeId dst = -1;
+    double remaining = 0.0;       ///< bytes left to stream
+    std::uint64_t bytes = 0;      ///< original payload
+    double rate = 0.0;            ///< current fair share, bytes/s
+    sim::SimTime started_at = 0.0;  ///< start_flow() time (FCT epoch)
+    sim::SimTime settled_at = 0.0;  ///< remaining is exact at this time
+    bool injected = false;          ///< past the latency phase
+    std::function<void()> on_complete;
+    sim::EventId pending_event = sim::kInvalidEvent;  ///< injection or done
+  };
+
+  void inject(FlowId id);
+  void complete(FlowId id);
+  /// Settles every active flow's remaining bytes to now, recomputes
+  /// max-min fair rates, reschedules completions, records utilization.
+  void recompute();
+
+  sim::Engine& engine_;
+  NetTopology topo_;
+  std::map<FlowId, Flow> flows_;  ///< id order => deterministic iteration
+  FlowId next_id_ = 1;
+  double latency_mult_ = 1.0;
+  double bandwidth_mult_ = 1.0;
+  std::vector<double> link_mult_;      ///< per-link degradation
+  std::vector<trace::StepSeries> util_series_;
+  std::vector<double> last_util_;
+  std::vector<char> congested_;
+  double congestion_threshold_ = 0.95;
+  trace::Recorder* recorder_ = nullptr;
+  std::vector<double> fcts_;
+  std::uint64_t started_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace tlb::net

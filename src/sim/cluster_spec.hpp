@@ -26,13 +26,24 @@ struct NodeSpec {
 
 /// Interconnect cost model: a point-to-point transfer of `bytes` costs
 /// latency + bytes / bandwidth seconds. Links are not serialised (full
-/// fat-tree assumption, as on MareNostrum 4).
+/// fat-tree assumption, as on MareNostrum 4). For a contention-aware
+/// model of the same hardware, see tlb::net (RuntimeConfig::net).
+///
+/// The intra-node (shared-memory) copy path is part of the spec too, so
+/// heterogeneous-node experiments can vary it: transfers between ranks on
+/// the same node cost shm_latency + bytes / shm_bandwidth and are never
+/// perturbed by link faults.
 struct LinkSpec {
   SimTime latency = 2e-6;          // 2 us
   double bandwidth = 12.5e9;       // bytes/s (100 Gb/s)
+  SimTime shm_latency = 2e-7;      // 200 ns
+  double shm_bandwidth = 80e9;     // bytes/s
 
   [[nodiscard]] SimTime transfer_time(std::uint64_t bytes) const {
     return latency + static_cast<double>(bytes) / bandwidth;
+  }
+  [[nodiscard]] SimTime shm_transfer_time(std::uint64_t bytes) const {
+    return shm_latency + static_cast<double>(bytes) / shm_bandwidth;
   }
 };
 

@@ -36,6 +36,10 @@
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
 
+namespace tlb::net {
+class Fabric;
+}
+
 namespace tlb::vmpi {
 
 using RankId = int;
@@ -105,6 +109,18 @@ class Communicator {
   [[nodiscard]] sim::SimTime transfer_cost(RankId src, RankId dst,
                                            std::uint64_t bytes) const;
 
+  /// Routes inter-node point-to-point payloads over a shared-link fabric
+  /// (tlb::net) instead of the analytic latency + bytes/bandwidth formula:
+  /// each message becomes a flow whose bandwidth is shared max-min fairly
+  /// with every other in-flight flow. Intra-node messages and collectives
+  /// keep the analytic model. Per-channel FIFO is preserved by
+  /// sequence-ordered delivery. With a fabric attached, the LinkFault
+  /// latency/bandwidth multipliers must be installed on the *fabric*
+  /// (Fabric::set_global_fault) — this layer still draws loss and jitter.
+  /// Pass nullptr to detach (restores the analytic model).
+  void attach_fabric(net::Fabric* fabric) { fabric_ = fabric; }
+  [[nodiscard]] net::Fabric* fabric() const { return fabric_; }
+
   // --- fault injection (tlb::fault) ------------------------------------------
 
   /// Installs the current link perturbation (latency/bandwidth multipliers,
@@ -164,7 +180,12 @@ class Communicator {
 
   /// Number of point-to-point messages sent so far (diagnostic).
   [[nodiscard]] std::uint64_t messages_sent() const { return sent_count_; }
-  /// Total point-to-point payload bytes sent so far (diagnostic).
+  /// Total payload bytes injected into the interconnect, counted once per
+  /// link traversal: a point-to-point send of B bytes counts B once, and
+  /// a broadcast of B bytes over P ranks counts (P - 1) * B — the payload
+  /// crosses one link per non-root rank in the binomial tree, regardless
+  /// of retransmissions. Barrier/allreduce/gather move O(1)-sized control
+  /// payloads and contribute nothing.
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_count_; }
 
  private:
@@ -226,6 +247,7 @@ class Communicator {
 
   sim::Engine& engine_;
   sim::LinkSpec link_;
+  net::Fabric* fabric_ = nullptr;  ///< non-null = flow-routed payloads
   std::vector<int> rank_to_node_;
   std::vector<Mailbox> mailboxes_;
   std::vector<Channel> channels_;

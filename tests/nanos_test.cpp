@@ -241,5 +241,87 @@ TEST(DataLocations, ScatteredSegmentsAccumulate) {
   EXPECT_EQ(loc.missing_input_bytes({in(0, 50)}, 1), 20u + 10u);
 }
 
+TEST(DataLocations, AdjacentRangesBehaveAsOneSegment) {
+  // Two writes landing back-to-back on the same node must scan exactly
+  // like one coalesced segment: no seam at the shared boundary.
+  DataLocations loc(0);
+  loc.task_executed({out(0, 50)}, 1);
+  loc.task_executed({out(50, 50)}, 1);
+  EXPECT_EQ(loc.location_of(49), 1);
+  EXPECT_EQ(loc.location_of(50), 1);
+  EXPECT_EQ(loc.missing_input_bytes({in(0, 100)}, 1), 0u);
+  EXPECT_EQ(loc.missing_input_bytes({in(0, 100)}, 0), 100u);
+  // A scan straddling just the seam sees contiguous residency.
+  EXPECT_EQ(loc.resident_input_bytes({in(40, 20)}, 1), 20u);
+  // And the per-source breakdown reports a single holder.
+  const auto sources = loc.missing_by_source({in(0, 100)}, 0);
+  ASSERT_EQ(sources.size(), 1u);
+  EXPECT_EQ(sources[0].first, 1);
+  EXPECT_EQ(sources[0].second, 100u);
+}
+
+TEST(DataLocations, PullOverPartiallyResidentRegion) {
+  // [0, 100) lives on node 2; the pulled region [50, 150) is half there,
+  // half home. The pull moves every non-resident byte and leaves the
+  // untouched prefix where it was.
+  DataLocations loc(0);
+  loc.task_executed({out(0, 100)}, 2);
+  EXPECT_EQ(loc.pull({in(50, 100)}, 1), 100u);
+  EXPECT_EQ(loc.location_of(49), 2);   // untouched prefix
+  EXPECT_EQ(loc.location_of(50), 1);
+  EXPECT_EQ(loc.location_of(149), 1);
+  EXPECT_EQ(loc.location_of(150), 0);  // beyond the pull: still home
+  EXPECT_EQ(loc.pull({in(50, 100)}, 1), 0u);  // idempotent
+}
+
+TEST(DataLocations, MissingBytesAtSegmentBoundaries) {
+  // Segments [0,30) on 1 and [30,60) on 2, remainder home on 0. A region
+  // crossing both boundaries must count each span against the right
+  // holder.
+  DataLocations loc(0);
+  loc.task_executed({out(0, 30)}, 1);
+  loc.task_executed({out(30, 30)}, 2);
+  EXPECT_EQ(loc.missing_input_bytes({in(10, 40)}, 2), 20u);  // [10,30)
+  EXPECT_EQ(loc.missing_input_bytes({in(10, 40)}, 1), 20u);  // [30,50)
+  EXPECT_EQ(loc.missing_input_bytes({in(10, 40)}, 0), 40u);  // both
+  EXPECT_EQ(loc.missing_input_bytes({in(10, 60)}, 0), 50u);  // + home tail
+}
+
+TEST(DataLocations, MissingBySourceGroupsByHolder) {
+  DataLocations loc(0);
+  loc.task_executed({out(0, 30)}, 1);
+  loc.task_executed({out(30, 30)}, 2);
+  // From node 3's view, three holders contribute: home, node 1, node 2 —
+  // reported in ascending node order, totals matching the scalar scan.
+  const auto sources = loc.missing_by_source({in(0, 90)}, 3);
+  ASSERT_EQ(sources.size(), 3u);
+  EXPECT_EQ(sources[0], (std::pair<int, std::uint64_t>{0, 30u}));
+  EXPECT_EQ(sources[1], (std::pair<int, std::uint64_t>{1, 30u}));
+  EXPECT_EQ(sources[2], (std::pair<int, std::uint64_t>{2, 30u}));
+  std::uint64_t total = 0;
+  for (const auto& [node, bytes] : sources) {
+    (void)node;
+    total += bytes;
+  }
+  EXPECT_EQ(total, loc.missing_input_bytes({in(0, 90)}, 3));
+  // A holder's own view excludes itself.
+  const auto from_one = loc.missing_by_source({in(0, 90)}, 1);
+  ASSERT_EQ(from_one.size(), 2u);
+  EXPECT_EQ(from_one[0].first, 0);
+  EXPECT_EQ(from_one[1].first, 2);
+}
+
+TEST(DataLocations, PullBySourceRelocatesAndReports) {
+  DataLocations loc(0);
+  loc.task_executed({out(0, 30)}, 1);
+  loc.task_executed({out(30, 30)}, 2);
+  const auto moved = loc.pull_by_source({in(0, 90)}, 0);
+  ASSERT_EQ(moved.size(), 2u);
+  EXPECT_EQ(moved[0], (std::pair<int, std::uint64_t>{1, 30u}));
+  EXPECT_EQ(moved[1], (std::pair<int, std::uint64_t>{2, 30u}));
+  EXPECT_EQ(loc.missing_input_bytes({in(0, 90)}, 0), 0u);
+  EXPECT_TRUE(loc.pull_by_source({in(0, 90)}, 0).empty());  // idempotent
+}
+
 }  // namespace
 }  // namespace tlb::nanos

@@ -3,6 +3,8 @@
 
 #include <vector>
 
+#include "net/fabric.hpp"
+#include "net/topology.hpp"
 #include "sim/engine.hpp"
 #include "vmpi/comm.hpp"
 
@@ -354,6 +356,58 @@ TEST(Vmpi, AddRankPreservesChannelState) {
   ASSERT_EQ(order.size(), 3u);
   for (int i = 0; i < 3; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
   EXPECT_TRUE(fresh_got);
+}
+
+TEST(Vmpi, BcastCountsPayloadOncePerLinkTraversal) {
+  // A broadcast of B bytes over P ranks injects the payload onto (P - 1)
+  // links in the binomial tree — bytes_sent() must count (P - 1) * B, not
+  // B and not P * B (regression: it used to count B once total).
+  Fixture f;
+  auto comm = f.make({0, 1, 2, 3});
+  int done = 0;
+  for (int r = 0; r < 4; ++r) comm.bcast(r, /*root=*/0, 1000, [&] { ++done; });
+  f.engine.run();
+  EXPECT_EQ(done, 4);
+  EXPECT_EQ(comm.bytes_sent(), 3000u);
+  EXPECT_EQ(comm.messages_sent(), 0u);  // collectives are not point-to-point
+}
+
+TEST(Vmpi, FabricRoutedSendsShareBandwidth) {
+  // With a fabric attached, concurrent inter-node payloads share the NIC
+  // max-min fairly instead of each paying the analytic cost: two 1000-byte
+  // messages over a 100 B/s NIC both finish at t = 20, not t = 10.
+  Fixture f;
+  auto comm = f.make({0, 1});
+  net::Fabric fabric(f.engine, net::NetTopology::crossbar(2, 100.0, 0.0));
+  comm.attach_fabric(&fabric);
+  std::vector<sim::SimTime> delivered;
+  comm.recv(1, 0, kAnyTag, [&](const Message& m) { delivered.push_back(m.delivered_at); });
+  comm.recv(1, 0, kAnyTag, [&](const Message& m) { delivered.push_back(m.delivered_at); });
+  comm.send(0, 1, 1, 1000);
+  comm.send(0, 1, 2, 1000);
+  f.engine.run();
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_NEAR(delivered[0], 20.0, 1e-9);
+  EXPECT_NEAR(delivered[1], 20.0, 1e-9);
+  EXPECT_EQ(fabric.flows_started(), 2u);
+  EXPECT_EQ(fabric.active_flows(), 0);
+  EXPECT_EQ(comm.bytes_sent(), 2000u);  // accounting is unchanged by routing
+}
+
+TEST(Vmpi, IntraNodeSendsBypassFabric) {
+  // Shared-memory transfers never enter the fabric: same cost as without
+  // one attached, and no flow is started.
+  Fixture f;
+  auto comm = f.make({0, 0});
+  net::Fabric fabric(f.engine, net::NetTopology::crossbar(1, 100.0, 0.0));
+  comm.attach_fabric(&fabric);
+  const std::uint64_t bytes = 1 << 20;
+  sim::SimTime delivered = -1.0;
+  comm.recv(1, 0, 0, [&](const Message& m) { delivered = m.delivered_at; });
+  comm.send(0, 1, 0, bytes);
+  f.engine.run();
+  EXPECT_NEAR(delivered, f.link.shm_transfer_time(bytes), 1e-12);
+  EXPECT_EQ(fabric.flows_started(), 0u);
 }
 
 }  // namespace
