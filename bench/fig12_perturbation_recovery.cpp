@@ -104,7 +104,7 @@ void run_combo(resil::DetectionMode detector, core::PolicyKind policy,
   std::printf(
       "%s,%s,%d,%s,%.4f,%.4f,%.1f,%s,%.2f,%llu,%llu,%s,%llu\n",
       detector == resil::DetectionMode::Oracle ? "oracle" : "phi",
-      policy == core::PolicyKind::Local ? "local" : "global", degree,
+      core::to_string(policy), degree,
       kind.c_str(), clean.makespan, r.makespan,
       100.0 * (r.makespan / clean.makespan - 1.0),
       first.reconverge_time < 0.0
@@ -118,7 +118,7 @@ void run_combo(resil::DetectionMode detector, core::PolicyKind policy,
 
   const std::string series =
       std::string(detector == resil::DetectionMode::Oracle ? "oracle" : "phi") +
-      "/" + (policy == core::PolicyKind::Local ? "local" : "global");
+      "/" + std::string(core::to_string(policy));
   auto& pt = report.point(series)
                  .set("degree", degree)
                  .set("perturbation", kind)

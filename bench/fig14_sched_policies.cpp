@@ -1,0 +1,173 @@
+// Fig 14 (extension): scheduler policy x imbalance x oversubscription.
+//
+// Fig 13 showed the *cost* of congestion-blind offloading; this figure
+// asks whether the scheduler can buy the cost back. Sweep the three
+// tlb::sched policies (locality = the paper's §5.5 rule, congestion =
+// link-load + per-helper FCT feedback, waittime = Samfass-style offload
+// throttling on observed task waits) over imbalance {1.5, 2.5} and
+// fat-tree oversubscription {1:1, 4:1} on the same 16-node machine and
+// heavy-payload synthetic workload as Fig 13.
+//
+// Reported per combination: makespan and its delta vs the locality
+// baseline, the policy's steered/suppressed offload counters, the flow
+// completion-time p99 and peak leaf-uplink utilization (did steering
+// actually relieve the hot links?), and the offloaded-work fraction.
+//
+// Expected shape: the congestion policy wins where there is headroom to
+// steer into — large on the 1:1 tree at moderate imbalance (NIC hotspots
+// are avoidable) and a few percent on the hardest 4:1 x high-imbalance
+// corner, where its saturation veto keeps offload inputs off pinned
+// uplinks; in between, steering on a saturated single-spine tree has
+// nowhere better to go and roughly recovers locality. waittime shaves a
+// consistent few percent everywhere by suppressing speculative offloads
+// whose transfer cost buys no queueing relief. All runs are deterministic
+// (fixed seed, no RNG in fabric or policies).
+#include <cinttypes>
+
+#include "apps/synthetic.hpp"
+#include "bench/common.hpp"
+#include "dlb/report.hpp"
+
+namespace {
+
+using namespace tlb;
+
+constexpr int kNodes = 16;
+constexpr int kCores = 16;
+constexpr int kDegree = 4;
+// Narrow NICs (200 MB/s) so streaming a 4 MiB task input is commensurable
+// with the ~20 ms tasks (see fig13).
+constexpr double kNicBandwidth = 2e8;
+constexpr std::uint64_t kPayload = 4u << 20;
+
+apps::SyntheticConfig workload_config(double imbalance) {
+  apps::SyntheticConfig cfg;
+  cfg.appranks = kNodes;
+  cfg.iterations = bench::smoke() ? 2 : 4;
+  cfg.tasks_per_rank = 96;
+  cfg.base_duration = 0.020;
+  cfg.imbalance = imbalance;
+  cfg.bytes_per_task = kPayload;
+  return cfg;
+}
+
+core::RuntimeConfig runtime_config(const std::string& policy,
+                                   int oversubscription) {
+  core::RuntimeConfig cfg;
+  cfg.cluster = sim::ClusterSpec::homogeneous(kNodes, kCores);
+  cfg.cluster.link.bandwidth = kNicBandwidth;
+  cfg.appranks_per_node = 1;
+  cfg.degree = kDegree;
+  cfg.policy = core::PolicyKind::Global;
+  cfg.net.enabled = true;
+  cfg.net.topology = net::TopologyKind::FatTree;
+  cfg.net.leaf_radix = 4;
+  cfg.net.spines = 1;
+  // leaf_radix NICs share one uplink: uplink = radix * nic / oversub.
+  cfg.net.uplink_bandwidth =
+      cfg.net.leaf_radix * kNicBandwidth / oversubscription;
+  cfg.sched.policy = policy;
+  return cfg;
+}
+
+void sweep(double imbalance, int oversubscription, bench::JsonReport& report,
+           bool print_sched_report) {
+  using namespace tlb::bench;
+  char title[128];
+  std::snprintf(title, sizeof(title),
+                "Fig 14: policies, imbalance %.1f, %d:1 fat-tree", imbalance,
+                oversubscription);
+  print_header(title, {"policy", "makespan[s]", "vs locality%", "steered",
+                       "suppressed", "fct_p99[ms]", "uplink_peak",
+                       "offload%"});
+
+  double locality_makespan = 0.0;
+  std::string sched_report;
+  for (const std::string policy : {"locality", "congestion", "waittime"}) {
+    apps::SyntheticWorkload wl(workload_config(imbalance));
+    core::ClusterRuntime rt(runtime_config(policy, oversubscription));
+    const auto r = rt.run(wl);
+    if (policy == "locality") locality_makespan = r.makespan;
+    const double delta = 100.0 * (r.makespan / locality_makespan - 1.0);
+
+    const net::Fabric* fabric = rt.fabric();
+    double uplink_peak = 0.0;
+    for (net::LinkId l : fabric->topology().leaf_uplinks()) {
+      uplink_peak = std::max(uplink_peak, fabric->peak_utilization(l));
+    }
+    const double p99 = fabric->fct_quantile(0.99);
+
+    print_cell(policy);
+    print_cell(r.makespan);
+    print_cell(fmt(delta, 1));
+    print_cell(static_cast<int>(r.sched.offloads_steered));
+    print_cell(static_cast<int>(r.sched.offloads_suppressed));
+    print_cell(1e3 * p99);
+    print_cell(fmt(uplink_peak, 2));
+    print_cell(fmt(100.0 * r.offload_fraction(), 1));
+    end_row();
+
+    char series[64];
+    std::snprintf(series, sizeof(series), "imbalance %.1f, %d:1", imbalance,
+                  oversubscription);
+    report.point(series)
+        .set("policy", policy)
+        .set("imbalance", imbalance)
+        .set("oversubscription", oversubscription)
+        .set("makespan", r.makespan)
+        .set("vs_locality_pct", delta)
+        .set("offloads_considered", r.sched.offloads_considered)
+        .set("offloads_steered", r.sched.offloads_steered)
+        .set("offloads_suppressed", r.sched.offloads_suppressed)
+        .set("fct_p99_s", p99)
+        .set("uplink_peak_utilization", uplink_peak)
+        .set("transfer_bytes", r.transfer_bytes)
+        .set("offload_fraction", r.offload_fraction());
+
+    if (print_sched_report && policy == "congestion") {
+      sched_report = dlb::sched_report(r.sched_policy, r.sched);
+    }
+  }
+  if (!sched_report.empty()) std::printf("\n%s", sched_report.c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "== Fig 14: scheduler policies x imbalance x oversubscription ==\n"
+      "(synthetic, %d nodes x %d cores, degree %d, %d MiB/task, global\n"
+      " policy; two-level fat-tree, %.0f MB/s NICs; policies: locality =\n"
+      " paper §5.5, congestion = link-load + FCT feedback, waittime =\n"
+      " offload throttling on observed waits)\n",
+      kNodes, kCores, kDegree, static_cast<int>(kPayload >> 20),
+      kNicBandwidth / 1e6);
+
+  tlb::bench::JsonReport report(
+      "fig14", "Scheduler policies under congestion and imbalance");
+  report.config()
+      .set("nodes", kNodes)
+      .set("cores_per_node", kCores)
+      .set("degree", kDegree)
+      .set("payload_bytes", kPayload)
+      .set("nic_bandwidth", kNicBandwidth)
+      .set("leaf_radix", 4)
+      .set("spines", 1)
+      .set("policy", "global");
+
+  const std::vector<double> imbalances =
+      tlb::bench::smoke() ? std::vector<double>{2.5}
+                          : std::vector<double>{1.5, 2.5};
+  const std::vector<int> oversubscriptions =
+      tlb::bench::smoke() ? std::vector<int>{4} : std::vector<int>{1, 4};
+  for (double imb : imbalances) {
+    for (int oversub : oversubscriptions) {
+      // The congestion counters are most interesting on the hardest
+      // configuration; print the full sched report there.
+      const bool last = imb == imbalances.back() &&
+                        oversub == oversubscriptions.back();
+      sweep(imb, oversub, report, last);
+    }
+  }
+  return 0;
+}

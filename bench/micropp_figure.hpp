@@ -34,7 +34,7 @@ inline void run_micropp_weak_scaling(core::PolicyKind policy,
   if (smoke() && node_counts.size() > 2) node_counts.resize(2);
   JsonReport report(figure, title);
   report.config()
-      .set("policy", policy == core::PolicyKind::Global ? "global" : "local")
+      .set("policy", core::to_string(policy))
       .set("appranks_per_node", appranks_per_node)
       .set("cores_per_node", 48);
 

@@ -6,6 +6,7 @@
 #include "core/policies.hpp"
 #include "net/config.hpp"
 #include "resil/config.hpp"
+#include "sched/config.hpp"
 #include "sim/cluster_spec.hpp"
 #include "sim/time.hpp"
 
@@ -58,6 +59,14 @@ struct RuntimeConfig {
   /// point-to-point messages) become flows over shared fat-tree links with
   /// max-min fair bandwidth sharing.
   net::NetConfig net;
+
+  /// Task scheduler policy (tlb::sched), selected by name from the policy
+  /// registry. The default "locality" reproduces the paper's §5.5 rule
+  /// bit-identically; "congestion" feeds fabric link utilization and
+  /// per-helper FCT estimates into victim selection; "waittime" throttles
+  /// offloading on observed task waits. Unknown names are rejected at
+  /// ClusterRuntime construction with the list of valid values.
+  sched::SchedConfig sched;
 
   std::uint64_t seed = 42;       ///< expander generation seed
   bool record_traces = true;     ///< keep busy/owned series for figures

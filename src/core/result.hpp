@@ -2,7 +2,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
+
+#include "sched/stats.hpp"
 
 namespace tlb::core {
 
@@ -49,6 +52,10 @@ struct RunResult {
   std::uint64_t quarantine_readmissions = 0;
   std::uint64_t policy_downshifts = 0;    ///< solver fallback-chain drops
   std::uint64_t rewired_edges = 0;        ///< expander edges added post-crash
+
+  // Scheduler policy statistics (tlb::sched).
+  std::string sched_policy;        ///< name of the policy that ran
+  sched::SchedStats sched;         ///< victim-selection counters
 
   std::uint64_t events_fired = 0;      ///< simulator events (diagnostic)
 

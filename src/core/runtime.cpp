@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "metrics/recovery.hpp"
+#include "sched/registry.hpp"
 #include "solver/allocation.hpp"
 
 namespace tlb::core {
@@ -146,10 +147,16 @@ ClusterRuntime::ClusterRuntime(RuntimeConfig config)
     fabric_->set_recorder(recorder_.get());
     app_comm_->attach_fabric(fabric_.get());
     ctrl_comm_->attach_fabric(fabric_.get());
+    link_load_view_ = std::make_unique<net::LinkLoadView>(*fabric_);
   }
 
   workers_.resize(static_cast<std::size_t>(topology_->worker_count()));
   appranks_.resize(static_cast<std::size_t>(topology_->apprank_count()));
+
+  // Victim-selection policy (tlb::sched). Built last so it can observe the
+  // fully-constructed runtime through the RuntimeView window; throws on an
+  // unknown policy name (listing the valid values).
+  scheduler_ = sched::make_scheduler(config_.sched, *this);
 }
 
 RunResult ClusterRuntime::run(Workload& workload) {
@@ -195,6 +202,8 @@ RunResult ClusterRuntime::run(Workload& workload) {
       app_comm_->messages_lost() + ctrl_comm_->messages_lost();
   result_.retransmissions =
       app_comm_->retransmissions() + ctrl_comm_->retransmissions();
+  result_.sched_policy = scheduler_->name();
+  result_.sched = scheduler_->stats();
   result_.events_fired = engine_.events_fired();
   return result_;
 }
@@ -298,50 +307,21 @@ int ClusterRuntime::owned_cores(WorkerId w) const {
   return node_cores_[static_cast<std::size_t>(node)]->owned_count(w);
 }
 
-bool ClusterRuntime::under_threshold(WorkerId w) const {
-  return workers_[static_cast<std::size_t>(w)].inflight <
-         config_.inflight_per_core * owned_cores(w);
-}
-
-int ClusterRuntime::pick_worker(const nanos::Task& task) const {
-  const auto& ws = topology_->workers_of_apprank(task.apprank);
-  const auto& loc = *appranks_[static_cast<std::size_t>(task.apprank)].locations;
-
-  // Locality-best node: most input bytes already resident; home wins ties.
-  // Crashed and quarantined workers are never candidates (home workers
-  // cannot crash and are never quarantined).
-  WorkerId best = ws.front();
-  if (ws.size() > 1 && !task.accesses.empty()) {
-    std::uint64_t best_bytes =
-        loc.resident_input_bytes(task.accesses, topology_->worker(best).node);
-    for (std::size_t j = 1; j < ws.size(); ++j) {
-      if (!usable(ws[j])) continue;
-      const std::uint64_t b = loc.resident_input_bytes(
-          task.accesses, topology_->worker(ws[j]).node);
-      if (b > best_bytes) {
-        best = ws[j];
-        best_bytes = b;
-      }
-    }
+int ClusterRuntime::pick_worker(const nanos::Task& task) {
+  // The §5.5 rule itself lives in tlb::sched (Scheduler::locality_pick,
+  // the "locality" policy); alternative policies steer or suppress
+  // offloads based on runtime feedback. Deviations from the baseline are
+  // annotated on the trace timeline so figure scripts can correlate them
+  // with congestion marks.
+  const sched::Decision d = scheduler_->pick(task);
+  if (d.kind == sched::DecisionKind::Steered) {
+    mark_trace("sched steer: task " + std::to_string(task.id) + " -> worker " +
+               std::to_string(d.worker));
+  } else if (d.kind == sched::DecisionKind::Suppressed) {
+    mark_trace("sched suppress: task " + std::to_string(task.id) +
+               (d.worker >= 0 ? " held home" : " held centrally"));
   }
-  if (under_threshold(best)) return best;
-
-  // Alternative node under the threshold, least loaded first.
-  WorkerId alt = -1;
-  double best_ratio = std::numeric_limits<double>::infinity();
-  for (WorkerId w : ws) {
-    if (w == best || !usable(w) || !under_threshold(w)) {
-      continue;
-    }
-    const double ratio =
-        static_cast<double>(workers_[static_cast<std::size_t>(w)].inflight) /
-        std::max(1, owned_cores(w));
-    if (ratio < best_ratio) {
-      best_ratio = ratio;
-      alt = w;
-    }
-  }
-  return alt;  // -1: every node saturated, hold centrally
+  return d.worker;
 }
 
 void ClusterRuntime::on_task_ready(nanos::TaskId id) {
@@ -431,6 +411,8 @@ void ClusterRuntime::finish_assignment(nanos::TaskId id, WorkerId w) {
     if (bytes > 0) {
       result_.transfer_bytes += bytes;
       pd.remaining = static_cast<int>(pd.flows.size());
+      pd.worker = w;
+      pd.started = engine_.now();
       pending_data_[id] = std::move(pd);
     }
     workers_[static_cast<std::size_t>(w)].queue.push_back(id);
@@ -486,6 +468,9 @@ void ClusterRuntime::start_task(nanos::TaskId id, WorkerId w, int core) {
   task.executed_worker = w;
   task.executed_core = core;
   task.executions += 1;
+  // Feedback to the scheduling policy: how long the task waited between
+  // readiness and claiming a core (the "waittime" offload-throttle signal).
+  scheduler_->on_task_started(task, w, engine_.now() - task.ready_at);
 
   dlb::NodeCores& nc = *node_cores_[static_cast<std::size_t>(info.node)];
   nc.task_started(core);
@@ -570,6 +555,9 @@ void ClusterRuntime::on_input_arrived(nanos::TaskId id) {
   const bool waiting = pd.exec_waiting;
   const std::uint64_t exec = pd.exec;
   const sim::SimTime overhead = pd.overhead;
+  // Feedback to the scheduling policy: observed flow-completion time of
+  // this task's input transfers (the "congestion" per-helper FCT signal).
+  scheduler_->on_inputs_landed(pd.worker, engine_.now() - pd.started);
   pending_data_.erase(it);
   if (waiting) begin_compute(exec, overhead);
 }

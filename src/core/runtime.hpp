@@ -4,7 +4,9 @@
 // load balancing:
 //   - appranks and helper ranks placed by a bipartite expander graph (§5.2);
 //   - per-apprank task scheduling with the locality-first,
-//     two-tasks-per-owned-core rule and a central overflow queue (§5.5);
+//     two-tasks-per-owned-core rule and a central overflow queue (§5.5),
+//     with victim selection pluggable via tlb::sched (RuntimeConfig::sched:
+//     "locality" default, "congestion", "waittime");
 //   - LeWI lend/borrow/reclaim of idle cores within each node (§5.3);
 //   - DROM ownership re-allocation driven by the local convergence or
 //     global solver policy (§5.4);
@@ -50,10 +52,12 @@
 #include "nanos/dependency_graph.hpp"
 #include "nanos/task.hpp"
 #include "net/fabric.hpp"
+#include "net/link_load.hpp"
 #include "resil/config.hpp"
 #include "resil/lease.hpp"
 #include "resil/phi_detector.hpp"
 #include "resil/quarantine.hpp"
+#include "sched/scheduler.hpp"
 #include "sim/engine.hpp"
 #include "trace/recorder.hpp"
 #include "vmpi/comm.hpp"
@@ -64,7 +68,11 @@ class RecoverySeries;
 
 namespace tlb::core {
 
-class ClusterRuntime {
+/// Private sched::RuntimeView implementation: scheduling policies read
+/// runtime state only through that narrow interface (and unit tests can
+/// substitute a fake), while the inheritance stays an implementation
+/// detail of the runtime.
+class ClusterRuntime : private sched::RuntimeView {
  public:
   explicit ClusterRuntime(RuntimeConfig config);
 
@@ -73,7 +81,7 @@ class ClusterRuntime {
 
   // Post-run inspection.
   [[nodiscard]] const trace::Recorder& recorder() const { return *recorder_; }
-  [[nodiscard]] const Topology& topology() const { return *topology_; }
+  [[nodiscard]] const Topology& topology() const override { return *topology_; }
   [[nodiscard]] const graph::BipartiteGraph& offload_graph() const {
     return expander_.graph;
   }
@@ -81,8 +89,14 @@ class ClusterRuntime {
     return expander_.expansion;
   }
   [[nodiscard]] const RuntimeConfig& config() const { return config_; }
-  [[nodiscard]] sim::SimTime now() const { return engine_.now(); }
+  [[nodiscard]] sim::SimTime now() const override { return engine_.now(); }
   [[nodiscard]] const nanos::TaskPool& tasks() const { return pool_; }
+
+  /// The active scheduling policy (tlb::sched; never null after
+  /// construction). Post-run inspection of per-policy counters.
+  [[nodiscard]] const sched::Scheduler& scheduler() const {
+    return *scheduler_;
+  }
 
   /// The contention-aware fabric (RuntimeConfig::net.enabled), or nullptr
   /// when the analytic cost model is active. Remains readable after run()
@@ -193,6 +207,8 @@ class ClusterRuntime {
     std::uint64_t exec = 0;     ///< parked execution id
     bool exec_waiting = false;  ///< exec is valid and parked
     sim::SimTime overhead = 0.0;  ///< borrowed-core friction, paid on arrival
+    WorkerId worker = -1;         ///< assignee (FCT feedback to the scheduler)
+    sim::SimTime started = 0.0;   ///< when the input flows were launched
   };
   struct ApprankState {
     std::unique_ptr<nanos::DependencyGraph> deps;
@@ -231,9 +247,27 @@ class ClusterRuntime {
   void complete_task(nanos::TaskId id);
   void kick_node(int node);
   void dispatch(WorkerId w);
-  [[nodiscard]] int owned_cores(WorkerId w) const;
-  [[nodiscard]] bool under_threshold(WorkerId w) const;
-  [[nodiscard]] int pick_worker(const nanos::Task& task) const;
+  /// Victim selection, delegated to the configured sched::Scheduler
+  /// (§5.5's rule is the default "locality" policy). Emits a trace mark
+  /// when the policy deviated from the locality baseline.
+  [[nodiscard]] int pick_worker(const nanos::Task& task);
+
+  // sched::RuntimeView (the window policies see; see also topology()/now()
+  // above and usable() below).
+  [[nodiscard]] int owned_cores(WorkerId w) const override;
+  [[nodiscard]] int inflight(WorkerId w) const override {
+    return workers_[static_cast<std::size_t>(w)].inflight;
+  }
+  [[nodiscard]] int inflight_per_core() const override {
+    return config_.inflight_per_core;
+  }
+  [[nodiscard]] const nanos::DataLocations& locations(
+      int apprank) const override {
+    return *appranks_[static_cast<std::size_t>(apprank)].locations;
+  }
+  [[nodiscard]] const net::LinkLoadView* link_load() const override {
+    return link_load_view_.get();
+  }
 
   // Fault handling (tlb::fault).
   /// Re-queues a task whose assignment to `from` was voided by a crash or
@@ -249,7 +283,8 @@ class ClusterRuntime {
     return config_.resil.heartbeat_active();
   }
   /// Alive and not quarantined: eligible for pick_worker / LeWI backlog.
-  [[nodiscard]] bool usable(WorkerId w) const {
+  /// (Also part of the sched::RuntimeView window.)
+  [[nodiscard]] bool usable(WorkerId w) const override {
     return alive_[static_cast<std::size_t>(w)] != 0 &&
            suspected_[static_cast<std::size_t>(w)] == 0;
   }
@@ -300,6 +335,13 @@ class ClusterRuntime {
   /// Non-null iff config_.net.enabled (declared after recorder_: the
   /// fabric holds a raw pointer to the recorder).
   std::unique_ptr<net::Fabric> fabric_;
+  /// Live link-utilization window over fabric_ for congestion-aware
+  /// scheduling; non-null iff fabric_ is.
+  std::unique_ptr<net::LinkLoadView> link_load_view_;
+  /// The victim-selection policy (tlb::sched), built from config_.sched by
+  /// the policy registry. Declared after the state it reads through the
+  /// RuntimeView window.
+  std::unique_ptr<sched::Scheduler> scheduler_;
   std::map<nanos::TaskId, PendingData> pending_data_;
   nanos::TaskPool pool_;
   std::vector<ApprankState> appranks_;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "dlb/talp.hpp"
+#include "sched/stats.hpp"
 
 namespace tlb::dlb {
 
@@ -24,5 +25,13 @@ struct TalpReportRow {
 std::string talp_report(const TalpModule& talp,
                         const std::vector<TalpReportRow>& rows,
                         double elapsed_seconds);
+
+/// Renders the scheduling-policy counters (tlb::sched, RunResult::sched)
+/// in the same end-of-run report style: victim selections, offload
+/// opportunities, and how many the policy steered or suppressed relative
+/// to the locality baseline. (SchedStats is header-only, so this adds no
+/// tlb_sched link dependency.)
+std::string sched_report(const std::string& policy,
+                         const sched::SchedStats& stats);
 
 }  // namespace tlb::dlb

@@ -91,6 +91,11 @@ class Fabric {
   [[nodiscard]] double peak_utilization(LinkId link) const {
     return util_series_.at(static_cast<std::size_t>(link)).max_value();
   }
+  /// Utilization of a link as of the last rate recomputation (the live
+  /// congestion signal consumed by net::LinkLoadView / tlb::sched).
+  [[nodiscard]] double current_utilization(LinkId link) const {
+    return last_util_.at(static_cast<std::size_t>(link));
+  }
 
   /// Completion times (latency + streaming, seconds) of finished *payload*
   /// flows (bytes > 0), in completion order. Zero-byte control messages

@@ -1,0 +1,26 @@
+#include "net/link_load.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace tlb::net {
+
+double LinkLoadView::path_load(NodeId src, NodeId dst) const {
+  if (src == dst) return 0.0;
+  double load = 0.0;
+  for (const LinkId l : fabric_->topology().route(src, dst)) {
+    load = std::max(load, link_load(l));
+  }
+  return load;
+}
+
+double LinkLoadView::path_capacity(NodeId src, NodeId dst) const {
+  if (src == dst) return std::numeric_limits<double>::infinity();
+  double cap = std::numeric_limits<double>::infinity();
+  for (const LinkId l : fabric_->topology().route(src, dst)) {
+    cap = std::min(cap, fabric_->effective_capacity(l));
+  }
+  return cap;
+}
+
+}  // namespace tlb::net

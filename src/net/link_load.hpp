@@ -1,0 +1,42 @@
+// Live link-load view of a Fabric, exported for congestion-aware
+// scheduling (tlb::sched).
+//
+// The scheduler must not reach into the fabric's flow table; it only
+// needs "how loaded is the path from A to B right now". This thin view
+// answers that from the per-link utilization the fabric already records
+// at every rate recomputation, plus the route table of the topology.
+// All answers are deterministic snapshots of the simulation state.
+#pragma once
+
+#include "net/fabric.hpp"
+#include "net/topology.hpp"
+
+namespace tlb::net {
+
+class LinkLoadView {
+ public:
+  explicit LinkLoadView(const Fabric& fabric) : fabric_(&fabric) {}
+
+  /// Current utilization (load / effective capacity, in [0, 1]) of one
+  /// physical link, as of the fabric's last rate recomputation.
+  [[nodiscard]] double link_load(LinkId link) const {
+    return fabric_->current_utilization(link);
+  }
+
+  /// Utilization of the hottest link on the src -> dst route; 0 when
+  /// src == dst (intra-node traffic never enters the fabric).
+  [[nodiscard]] double path_load(NodeId src, NodeId dst) const;
+
+  /// Effective capacity (bytes/s, after faults) of the narrowest link on
+  /// the src -> dst route; +inf when src == dst.
+  [[nodiscard]] double path_capacity(NodeId src, NodeId dst) const;
+
+  [[nodiscard]] const NetTopology& topology() const {
+    return fabric_->topology();
+  }
+
+ private:
+  const Fabric* fabric_;
+};
+
+}  // namespace tlb::net

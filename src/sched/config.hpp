@@ -1,0 +1,51 @@
+// Configuration of the pluggable scheduler subsystem (tlb::sched).
+//
+// RuntimeConfig::sched selects the victim-selection policy by *name*
+// (registry lookup, see sched/registry.hpp). Unknown names are rejected
+// at ClusterRuntime construction with an error listing the valid values —
+// a typo never silently falls back to the default.
+#pragma once
+
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace tlb::sched {
+
+struct SchedConfig {
+  /// Policy name: "locality" (paper §5.5, the default), "congestion"
+  /// (locality + fabric link-load + per-helper FCT feedback), or
+  /// "waittime" (Samfass-style offload throttling on observed waits).
+  std::string policy = "locality";
+
+  // --- congestion policy tuning ----------------------------------------------
+
+  /// Path utilization at/above which a remote candidate with data still
+  /// to move is steered away from (its uplink is saturated; streaming
+  /// more input bytes over it would only deepen the queue).
+  double congestion_avoid = 0.85;
+  /// EWMA factor for the per-helper flow-completion-time estimate:
+  /// ewma = smoothing * ewma + (1 - smoothing) * observed.
+  double fct_smoothing = 0.7;
+  /// Weight of the per-helper FCT estimate in the candidate cost
+  /// (seconds of penalty per second of smoothed FCT). Deliberately small:
+  /// observed FCTs include whole-transfer queueing and run ~100x the
+  /// instantaneous per-task transfer estimates, and the EWMA lags the
+  /// fabric state — as a primary signal it causes anti-locality
+  /// ping-ponging (steering to whichever helper was not used recently).
+  /// At this scale it breaks ties between similarly-loaded paths while
+  /// the live link utilization leads the decision.
+  double fct_penalty = 0.02;
+
+  // --- waittime policy tuning -------------------------------------------------
+
+  /// EWMA factor for the per-apprank task queue-wait estimate.
+  double wait_smoothing = 0.7;
+  /// Mean queue wait (seconds) below which remote offloading is
+  /// suppressed: tasks that barely wait at home gain nothing from paying
+  /// an offload transfer (Samfass et al.: offload on observed wait times,
+  /// not static scores).
+  sim::SimTime wait_offload_min = 0.005;
+};
+
+}  // namespace tlb::sched

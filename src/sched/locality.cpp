@@ -1,0 +1,12 @@
+#include "sched/policies.hpp"
+
+namespace tlb::sched {
+
+Decision LocalityScheduler::pick(const nanos::Task& task) {
+  ++stats_.decisions;
+  if (has_remote_candidate(task)) ++stats_.offloads_considered;
+  // The baseline *is* the decision: never steered, never suppressed.
+  return {locality_pick(task), DecisionKind::Baseline};
+}
+
+}  // namespace tlb::sched

@@ -1,0 +1,79 @@
+// The shipped scheduling policies (see sched/scheduler.hpp for the
+// interface and sched/registry.hpp for name-based construction).
+#pragma once
+
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace tlb::sched {
+
+/// "locality" — the paper's §5.5 rule, extracted verbatim from the
+/// pre-subsystem runtime. The default; golden-schedule regression tests
+/// pin its placements bit-identically to the legacy implementation.
+class LocalityScheduler final : public Scheduler {
+ public:
+  explicit LocalityScheduler(const RuntimeView& view) : Scheduler(view) {}
+  [[nodiscard]] const char* name() const override { return "locality"; }
+  [[nodiscard]] Decision pick(const nanos::Task& task) override;
+};
+
+/// "congestion" — locality extended with interconnect feedback: each
+/// candidate is costed by its estimated input-transfer time over the
+/// *currently loaded* path (net::LinkLoadView) plus an EWMA of the flow
+/// completion times this helper's past offloads observed. Candidates
+/// whose path is saturated (>= SchedConfig::congestion_avoid) with input
+/// bytes still to move are vetoed, steering offloads away from hot
+/// uplinks; when every remote option is vetoed the task is held centrally
+/// (idle workers pull it later — deferring beats streaming into a full
+/// queue). Without a fabric (analytic model) there is no signal and the
+/// policy decays to the locality rule exactly.
+class CongestionScheduler final : public Scheduler {
+ public:
+  CongestionScheduler(const SchedConfig& config, const RuntimeView& view)
+      : Scheduler(view), config_(config) {}
+  [[nodiscard]] const char* name() const override { return "congestion"; }
+  [[nodiscard]] Decision pick(const nanos::Task& task) override;
+  void on_inputs_landed(core::WorkerId w, sim::SimTime fct) override;
+
+  /// Smoothed flow-completion time of offload inputs towards `w`
+  /// (seconds; 0 until the first observation).
+  [[nodiscard]] double fct_estimate(core::WorkerId w) const {
+    return static_cast<std::size_t>(w) < fct_ewma_.size()
+               ? fct_ewma_[static_cast<std::size_t>(w)]
+               : 0.0;
+  }
+
+ private:
+  SchedConfig config_;
+  std::vector<double> fct_ewma_;  ///< per worker (lazily grown on rewires)
+};
+
+/// "waittime" — offload aggressiveness throttled per apprank by observed
+/// task waits (Samfass et al., "Lightweight Task Offloading Exploiting
+/// MPI Wait Times"): while the apprank's smoothed ready-to-start wait is
+/// below SchedConfig::wait_offload_min its tasks barely queue at home, so
+/// a remote placement would pay transfer cost for nothing and the offload
+/// is suppressed. Once waits build up the locality rule resumes.
+class WaittimeScheduler final : public Scheduler {
+ public:
+  WaittimeScheduler(const SchedConfig& config, const RuntimeView& view)
+      : Scheduler(view), config_(config) {}
+  [[nodiscard]] const char* name() const override { return "waittime"; }
+  [[nodiscard]] Decision pick(const nanos::Task& task) override;
+  void on_task_started(const nanos::Task& task, core::WorkerId w,
+                       sim::SimTime wait) override;
+
+  /// Smoothed ready-to-start wait of the apprank's tasks (seconds).
+  [[nodiscard]] double wait_estimate(int apprank) const {
+    return static_cast<std::size_t>(apprank) < wait_ewma_.size()
+               ? wait_ewma_[static_cast<std::size_t>(apprank)]
+               : 0.0;
+  }
+
+ private:
+  SchedConfig config_;
+  std::vector<double> wait_ewma_;  ///< per apprank
+};
+
+}  // namespace tlb::sched

@@ -1,0 +1,61 @@
+#include "sched/registry.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "sched/policies.hpp"
+
+namespace tlb::sched {
+
+namespace {
+
+using Factory = std::unique_ptr<Scheduler> (*)(const SchedConfig&,
+                                               const RuntimeView&);
+
+struct Entry {
+  const char* name;
+  Factory make;
+};
+
+constexpr Entry kRegistry[] = {
+    {"locality",
+     [](const SchedConfig&, const RuntimeView& view)
+         -> std::unique_ptr<Scheduler> {
+       return std::make_unique<LocalityScheduler>(view);
+     }},
+    {"congestion",
+     [](const SchedConfig& config, const RuntimeView& view)
+         -> std::unique_ptr<Scheduler> {
+       return std::make_unique<CongestionScheduler>(config, view);
+     }},
+    {"waittime",
+     [](const SchedConfig& config, const RuntimeView& view)
+         -> std::unique_ptr<Scheduler> {
+       return std::make_unique<WaittimeScheduler>(config, view);
+     }},
+};
+
+}  // namespace
+
+std::vector<std::string> known_policies() {
+  std::vector<std::string> names;
+  for (const Entry& e : kRegistry) names.emplace_back(e.name);
+  return names;
+}
+
+std::unique_ptr<Scheduler> make_scheduler(const SchedConfig& config,
+                                          const RuntimeView& view) {
+  for (const Entry& e : kRegistry) {
+    if (config.policy == e.name) return e.make(config, view);
+  }
+  std::string valid;
+  for (const Entry& e : kRegistry) {
+    if (!valid.empty()) valid += ", ";
+    valid += e.name;
+  }
+  throw std::invalid_argument("RuntimeConfig::sched: unknown scheduling "
+                              "policy '" +
+                              config.policy + "'; valid values: " + valid);
+}
+
+}  // namespace tlb::sched

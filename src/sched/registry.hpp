@@ -1,0 +1,27 @@
+// Name -> policy registry for the scheduler subsystem.
+//
+// RuntimeConfig::sched.policy selects the scheduling policy by name at
+// ClusterRuntime construction. Unknown names throw std::invalid_argument
+// with the list of valid values — never a silent fallback to the default.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/config.hpp"
+#include "sched/scheduler.hpp"
+
+namespace tlb::sched {
+
+/// Registered policy names, in registration order ("locality" first; it
+/// is the default).
+[[nodiscard]] std::vector<std::string> known_policies();
+
+/// Constructs the policy named by `config.policy` over `view` (which must
+/// outlive the scheduler). Throws std::invalid_argument naming the bad
+/// value and listing every registered policy when the name is unknown.
+[[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(
+    const SchedConfig& config, const RuntimeView& view);
+
+}  // namespace tlb::sched

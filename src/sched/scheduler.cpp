@@ -1,0 +1,58 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace tlb::sched {
+
+core::WorkerId Scheduler::locality_pick(const nanos::Task& task) const {
+  const core::Topology& topo = view_.topology();
+  const auto& ws = topo.workers_of_apprank(task.apprank);
+  const nanos::DataLocations& loc = view_.locations(task.apprank);
+
+  // Locality-best node: most input bytes already resident; home wins ties.
+  // Crashed and quarantined workers are never candidates (home workers
+  // cannot crash and are never quarantined).
+  core::WorkerId best = ws.front();
+  if (ws.size() > 1 && !task.accesses.empty()) {
+    std::uint64_t best_bytes =
+        loc.resident_input_bytes(task.accesses, topo.worker(best).node);
+    for (std::size_t j = 1; j < ws.size(); ++j) {
+      if (!view_.usable(ws[j])) continue;
+      const std::uint64_t b =
+          loc.resident_input_bytes(task.accesses, topo.worker(ws[j]).node);
+      if (b > best_bytes) {
+        best = ws[j];
+        best_bytes = b;
+      }
+    }
+  }
+  if (under_threshold(best)) return best;
+
+  // Alternative node under the threshold, least loaded first.
+  core::WorkerId alt = -1;
+  double best_ratio = std::numeric_limits<double>::infinity();
+  for (core::WorkerId w : ws) {
+    if (w == best || !view_.usable(w) || !under_threshold(w)) {
+      continue;
+    }
+    const double ratio = static_cast<double>(view_.inflight(w)) /
+                         std::max(1, view_.owned_cores(w));
+    if (ratio < best_ratio) {
+      best_ratio = ratio;
+      alt = w;
+    }
+  }
+  return alt;  // -1: every node saturated, hold centrally
+}
+
+bool Scheduler::has_remote_candidate(const nanos::Task& task) const {
+  const core::Topology& topo = view_.topology();
+  const core::WorkerId home = topo.home_worker(task.apprank);
+  for (core::WorkerId w : topo.workers_of_apprank(task.apprank)) {
+    if (w != home && view_.usable(w) && under_threshold(w)) return true;
+  }
+  return false;
+}
+
+}  // namespace tlb::sched

@@ -1,0 +1,24 @@
+// Per-policy scheduling counters, surfaced through RunResult and
+// dlb::sched_report. Header-only so reporting code can consume the struct
+// without linking tlb_sched.
+#pragma once
+
+#include <cstdint>
+
+namespace tlb::sched {
+
+struct SchedStats {
+  /// pick() calls for offloadable ready tasks (victim selections).
+  std::uint64_t decisions = 0;
+  /// Decisions where at least one usable remote helper was a candidate —
+  /// the opportunities to offload.
+  std::uint64_t offloads_considered = 0;
+  /// Decisions where the policy chose a different worker than the
+  /// locality baseline would have (feedback signals redirected the task).
+  std::uint64_t offloads_steered = 0;
+  /// Decisions where the policy withheld a remote offload the locality
+  /// baseline would have made (task held at home / in the central queue).
+  std::uint64_t offloads_suppressed = 0;
+};
+
+}  // namespace tlb::sched

@@ -1,0 +1,34 @@
+#include "sched/policies.hpp"
+
+namespace tlb::sched {
+
+Decision WaittimeScheduler::pick(const nanos::Task& task) {
+  ++stats_.decisions;
+  if (has_remote_candidate(task)) ++stats_.offloads_considered;
+  const core::WorkerId base = locality_pick(task);
+  const core::WorkerId home = view_.topology().home_worker(task.apprank);
+
+  if (base >= 0 && base != home &&
+      wait_estimate(task.apprank) < config_.wait_offload_min) {
+    // The apprank's tasks barely wait at home: a remote placement would
+    // pay the input transfer for no queueing relief. Keep the task local
+    // (or central, where an idle worker can still steal it once real
+    // backlog shows up as waiting time).
+    ++stats_.offloads_suppressed;
+    return {under_threshold(home) ? home : -1, DecisionKind::Suppressed};
+  }
+  return {base, DecisionKind::Baseline};
+}
+
+void WaittimeScheduler::on_task_started(const nanos::Task& task,
+                                        core::WorkerId /*w*/,
+                                        sim::SimTime wait) {
+  if (static_cast<std::size_t>(task.apprank) >= wait_ewma_.size()) {
+    wait_ewma_.resize(static_cast<std::size_t>(task.apprank) + 1, 0.0);
+  }
+  double& ewma = wait_ewma_[static_cast<std::size_t>(task.apprank)];
+  ewma = config_.wait_smoothing * ewma +
+         (1.0 - config_.wait_smoothing) * wait;
+}
+
+}  // namespace tlb::sched

@@ -1,0 +1,315 @@
+// Tests of the pluggable scheduler subsystem (tlb::sched): golden-schedule
+// regressions proving the extraction of the §5.5 rule out of the runtime
+// kept placements bit-identical, policy registry error paths, and the
+// behaviour of the congestion / waittime feedback policies.
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "apps/synthetic.hpp"
+#include "core/policies.hpp"
+#include "core/runtime.hpp"
+#include "dlb/report.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "net/config.hpp"
+#include "sched/registry.hpp"
+
+namespace {
+
+using namespace tlb;
+
+// --- golden schedule fingerprints --------------------------------------------
+//
+// FNV-1a over every task's placement and timing plus the makespan and
+// event count. The constants below were captured from the pre-refactor
+// binary (the §5.5 rule still hard-coded in core/runtime.cpp) and must
+// never change for sched=locality: they prove the extraction is
+// bit-identical, including crash/rescue re-queues and net-mode runs.
+
+std::uint64_t fp_mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v;
+  h *= 1099511628211ull;
+  return h;
+}
+
+std::uint64_t bits_of(double d) {
+  std::uint64_t b;
+  std::memcpy(&b, &d, sizeof(b));
+  return b;
+}
+
+std::uint64_t schedule_fingerprint(const core::ClusterRuntime& rt,
+                                   const core::RunResult& r) {
+  std::uint64_t h = 1469598103934665603ull;
+  const nanos::TaskPool& pool = rt.tasks();
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    const nanos::Task& t = pool.get(static_cast<nanos::TaskId>(i));
+    h = fp_mix(h, t.id);
+    h = fp_mix(h, static_cast<std::uint64_t>(
+                      static_cast<std::int64_t>(t.scheduled_node)));
+    h = fp_mix(h, static_cast<std::uint64_t>(
+                      static_cast<std::int64_t>(t.executed_worker)));
+    h = fp_mix(h, static_cast<std::uint64_t>(
+                      static_cast<std::int64_t>(t.executed_core)));
+    h = fp_mix(h, static_cast<std::uint64_t>(t.executions));
+    h = fp_mix(h, bits_of(t.start_at));
+    h = fp_mix(h, bits_of(t.finish_at));
+  }
+  h = fp_mix(h, bits_of(r.makespan));
+  h = fp_mix(h, r.events_fired);
+  return h;
+}
+
+constexpr std::uint64_t kGoldenPlain = 0x5515139c5bf2c300ull;
+constexpr std::uint64_t kGoldenCrash = 0x58b761ad63ad7735ull;
+constexpr std::uint64_t kGoldenNet = 0xb613ed57f79b2e8aull;
+
+core::RuntimeConfig plain_config() {
+  core::RuntimeConfig cfg;
+  cfg.cluster = sim::ClusterSpec::homogeneous(4, 8);
+  cfg.appranks_per_node = 2;
+  cfg.degree = 3;
+  cfg.policy = core::PolicyKind::Global;
+  cfg.global_period = 0.2;
+  cfg.local_period = 0.05;
+  return cfg;
+}
+
+apps::SyntheticConfig plain_workload() {
+  apps::SyntheticConfig cfg;
+  cfg.appranks = 8;
+  cfg.imbalance = 1.8;
+  cfg.iterations = 3;
+  cfg.tasks_per_rank = 40;
+  return cfg;
+}
+
+core::RuntimeConfig net_config() {
+  core::RuntimeConfig cfg;
+  cfg.cluster = sim::ClusterSpec::homogeneous(4, 4);
+  cfg.appranks_per_node = 1;
+  cfg.degree = 2;
+  cfg.policy = core::PolicyKind::Global;
+  cfg.global_period = 0.2;
+  cfg.local_period = 0.05;
+  cfg.net.enabled = true;
+  cfg.net.leaf_radix = 2;
+  cfg.net.spines = 1;
+  return cfg;
+}
+
+apps::SyntheticConfig net_workload() {
+  apps::SyntheticConfig cfg;
+  cfg.appranks = 4;
+  cfg.iterations = 2;
+  cfg.tasks_per_rank = 24;
+  cfg.imbalance = 2.0;
+  cfg.bytes_per_task = 1 << 20;
+  return cfg;
+}
+
+TEST(GoldenSchedule, LocalityDefaultIsBitIdenticalToLegacy) {
+  apps::SyntheticWorkload wl(plain_workload());
+  core::ClusterRuntime rt(plain_config());
+  const auto r = rt.run(wl);
+  EXPECT_EQ(schedule_fingerprint(rt, r), kGoldenPlain);
+  EXPECT_EQ(r.sched_policy, "locality");
+  EXPECT_EQ(r.sched.offloads_steered, 0u);
+  EXPECT_EQ(r.sched.offloads_suppressed, 0u);
+  EXPECT_GT(r.sched.decisions, 0u);
+}
+
+TEST(GoldenSchedule, ExplicitLocalityNameMatchesDefault) {
+  core::RuntimeConfig cfg = plain_config();
+  cfg.sched.policy = "locality";
+  apps::SyntheticWorkload wl(plain_workload());
+  core::ClusterRuntime rt(cfg);
+  EXPECT_EQ(schedule_fingerprint(rt, rt.run(wl)), kGoldenPlain);
+}
+
+TEST(GoldenSchedule, CrashRescueReplaysIdentically) {
+  core::RuntimeConfig cfg;
+  cfg.cluster = sim::ClusterSpec::homogeneous(4, 8);
+  cfg.appranks_per_node = 1;
+  cfg.degree = 2;
+  cfg.policy = core::PolicyKind::Global;
+  core::ClusterRuntime rt(cfg);
+  apps::SyntheticConfig scfg;
+  scfg.appranks = 4;
+  scfg.iterations = 6;
+  scfg.tasks_per_rank = 120;
+  scfg.imbalance = 2.0;
+  apps::SyntheticWorkload wl(scfg);
+  fault::FaultInjector injector(
+      fault::FaultPlan()
+          .lose_messages(0.10, 0.5, 2.5)
+          .degrade_link(2.0, 0.5, 1e-5, 1.0, 3.0)
+          .crash_worker(rt.topology().workers_of_apprank(0)[1], 1.5));
+  injector.attach(rt);
+  EXPECT_EQ(schedule_fingerprint(rt, rt.run(wl)), kGoldenCrash);
+}
+
+TEST(GoldenSchedule, NetEnabledRunReplaysIdentically) {
+  apps::SyntheticWorkload wl(net_workload());
+  core::ClusterRuntime rt(net_config());
+  EXPECT_EQ(schedule_fingerprint(rt, rt.run(wl)), kGoldenNet);
+}
+
+// Without a fabric there is no congestion signal: the congestion policy
+// must decay to the locality rule *exactly*, not just approximately.
+TEST(GoldenSchedule, CongestionWithoutFabricDecaysToLocality) {
+  core::RuntimeConfig cfg = plain_config();
+  cfg.sched.policy = "congestion";
+  apps::SyntheticWorkload wl(plain_workload());
+  core::ClusterRuntime rt(cfg);
+  const auto r = rt.run(wl);
+  EXPECT_EQ(schedule_fingerprint(rt, r), kGoldenPlain);
+  EXPECT_EQ(r.sched_policy, "congestion");
+  EXPECT_EQ(r.sched.offloads_steered, 0u);
+  EXPECT_EQ(r.sched.offloads_suppressed, 0u);
+}
+
+// --- registry / config validation (no silent fallbacks) ----------------------
+
+TEST(SchedRegistry, KnownPoliciesListsAllThree) {
+  const auto names = sched::known_policies();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "locality");  // first = default
+  EXPECT_EQ(names[1], "congestion");
+  EXPECT_EQ(names[2], "waittime");
+}
+
+TEST(SchedRegistry, UnknownPolicyNameThrowsListingValidValues) {
+  core::RuntimeConfig cfg = plain_config();
+  cfg.sched.policy = "loclaity";  // typo must not fall back silently
+  try {
+    core::ClusterRuntime rt(cfg);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("loclaity"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("locality"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("congestion"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("waittime"), std::string::npos) << msg;
+  }
+}
+
+TEST(NameParsing, PolicyKindRoundTripsAndRejectsUnknown) {
+  for (const core::PolicyKind k :
+       {core::PolicyKind::None, core::PolicyKind::Local,
+        core::PolicyKind::Global}) {
+    EXPECT_EQ(core::parse_policy_kind(core::to_string(k)), k);
+  }
+  try {
+    (void)core::parse_policy_kind("glboal");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("glboal"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("global"), std::string::npos) << msg;
+  }
+}
+
+TEST(NameParsing, TopologyKindRoundTripsAndRejectsUnknown) {
+  for (const net::TopologyKind k :
+       {net::TopologyKind::Crossbar, net::TopologyKind::FatTree}) {
+    EXPECT_EQ(net::parse_topology_kind(net::to_string(k)), k);
+  }
+  try {
+    (void)net::parse_topology_kind("dragonfly");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("dragonfly"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("fat-tree"), std::string::npos) << msg;
+  }
+}
+
+// --- feedback policies --------------------------------------------------------
+
+// On an oversubscribed fat-tree with heavy per-task input data the
+// congestion policy must actually deviate from the locality baseline
+// (steer around or suppress into saturated uplinks).
+TEST(CongestionPolicy, DeviatesFromBaselineOnSaturatedFatTree) {
+  core::RuntimeConfig cfg;
+  cfg.cluster = sim::ClusterSpec::homogeneous(8, 4);
+  cfg.appranks_per_node = 1;
+  cfg.degree = 3;
+  cfg.policy = core::PolicyKind::Global;
+  cfg.global_period = 0.2;
+  cfg.local_period = 0.05;
+  cfg.net.enabled = true;
+  cfg.net.leaf_radix = 2;
+  cfg.net.spines = 1;
+  cfg.net.uplink_bandwidth = 2e8;  // 4:1-ish oversubscription
+  cfg.sched.policy = "congestion";
+
+  apps::SyntheticConfig scfg;
+  scfg.appranks = 8;
+  scfg.iterations = 3;
+  scfg.tasks_per_rank = 40;
+  scfg.imbalance = 2.5;
+  scfg.bytes_per_task = 4 << 20;
+  apps::SyntheticWorkload wl(scfg);
+  core::ClusterRuntime rt(cfg);
+  const auto r = rt.run(wl);
+
+  EXPECT_EQ(r.sched_policy, "congestion");
+  EXPECT_GT(r.sched.decisions, 0u);
+  EXPECT_GT(r.sched.offloads_considered, 0u);
+  EXPECT_GT(r.sched.offloads_steered + r.sched.offloads_suppressed, 0u)
+      << "congestion policy never deviated from the locality baseline "
+         "despite a saturated fat-tree";
+  EXPECT_GT(r.tasks_total, 0u);
+}
+
+// Under imbalance, tasks burst-ready while the wait EWMA is still near
+// zero: the waittime policy must initially suppress remote offloads and
+// offload less than the locality baseline overall.
+TEST(WaittimePolicy, SuppressesOffloadsWhileWaitsAreShort) {
+  core::RuntimeConfig cfg = plain_config();
+  apps::SyntheticWorkload wl_base(plain_workload());
+  core::ClusterRuntime base_rt(cfg);
+  const auto base = base_rt.run(wl_base);
+
+  cfg.sched.policy = "waittime";
+  apps::SyntheticWorkload wl(plain_workload());
+  core::ClusterRuntime rt(cfg);
+  const auto r = rt.run(wl);
+
+  EXPECT_EQ(r.sched_policy, "waittime");
+  EXPECT_GT(r.sched.offloads_suppressed, 0u);
+  // Suppression defers to pull-based stealing rather than forbidding
+  // offloads outright, so the total offload count may drift either way —
+  // but every task must still complete exactly once.
+  EXPECT_EQ(r.tasks_total, base.tasks_total);
+  EXPECT_GT(base.tasks_offloaded, 0u);
+}
+
+// --- reporting ----------------------------------------------------------------
+
+TEST(SchedReport, FormatsCountersWithPercentages) {
+  sched::SchedStats stats;
+  stats.decisions = 100;
+  stats.offloads_considered = 50;
+  stats.offloads_steered = 10;
+  stats.offloads_suppressed = 5;
+  const std::string report = dlb::sched_report("congestion", stats);
+  EXPECT_NE(report.find("policy: congestion"), std::string::npos) << report;
+  EXPECT_NE(report.find("victim selections"), std::string::npos);
+  EXPECT_NE(report.find("100"), std::string::npos);
+  EXPECT_NE(report.find("offloads steered"), std::string::npos);
+  EXPECT_NE(report.find("20.0%"), std::string::npos) << report;
+  EXPECT_NE(report.find("10.0%"), std::string::npos) << report;
+}
+
+TEST(SchedReport, ZeroConsideredDoesNotDivide) {
+  const std::string report = dlb::sched_report("locality", {});
+  EXPECT_NE(report.find("policy: locality"), std::string::npos);
+  EXPECT_NE(report.find("0.0%"), std::string::npos);
+}
+
+}  // namespace

@@ -26,9 +26,7 @@ struct SweepCase {
 
 std::string case_name(const ::testing::TestParamInfo<SweepCase>& info) {
   const auto& c = info.param;
-  std::string p = c.policy == core::PolicyKind::Global  ? "global"
-                  : c.policy == core::PolicyKind::Local ? "local"
-                                                        : "none";
+  const std::string p = core::to_string(c.policy);
   return "n" + std::to_string(c.nodes) + "x" + std::to_string(c.cores) +
          "_r" + std::to_string(c.per_node) + "_d" +
          std::to_string(c.degree) + "_" + p + "_i" +
@@ -153,7 +151,9 @@ TEST(Sweep, SlowNodeMakespanMonotoneInSpeed) {
     scfg.tasks_per_rank = 32;
     apps::SyntheticWorkload wl(scfg);
     const auto r = core::ClusterRuntime(cfg).run(wl);
-    if (prev > 0.0) EXPECT_LT(r.makespan, prev) << "speed " << speed;
+    if (prev > 0.0) {
+      EXPECT_LT(r.makespan, prev) << "speed " << speed;
+    }
     prev = r.makespan;
   }
 }

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Compare two directories of BENCH_fig*.json artifacts and flag regressions.
+
+Used by the ``bench-trend`` CI job: the candidate directory is the current
+run's smoke reports, the base directory is the latest ``bench-reports``
+artifact from main. For every figure present in both, each point is matched
+by (series name, position) and its primary metric — ``makespan`` when
+present, otherwise the first key containing "makespan" — is compared. A
+point whose metric grew by more than the threshold (default 20%) counts as
+a regression.
+
+The job is *fail-soft*: regressions are reported as GitHub ``::warning::``
+annotations (plain lines outside Actions) and the exit code stays 0 unless
+--strict is given. Smoke sweeps are small and somewhat quantised, so a
+single warning is a nudge to look at the full bench, not a verdict.
+
+Usage:
+  tools/bench_trend.py BASE_DIR CANDIDATE_DIR [--threshold 0.2] [--strict]
+
+Stdlib only; no third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+
+def load_dir(artifact_dir: Path) -> dict[str, dict]:
+    reports = {}
+    for path in sorted(artifact_dir.glob("BENCH_*.json")):
+        try:
+            report = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"warning: skipping {path}: {err}", file=sys.stderr)
+            continue
+        if report.get("figure") and "series" in report:
+            reports[report["figure"]] = report
+    return reports
+
+
+def metric_key(point: dict) -> str | None:
+    if isinstance(point.get("makespan"), (int, float)):
+        return "makespan"
+    for key, value in point.items():
+        if "makespan" in key and isinstance(value, (int, float)):
+            return key
+    return None
+
+
+def point_label(point: dict) -> str:
+    """Identify a point by its non-metric scalar fields (policy, degree,
+    imbalance, ...), for readable annotations."""
+    parts = []
+    for key, value in point.items():
+        if isinstance(value, str) or (isinstance(value, (int, float))
+                                      and key in ("degree", "nodes",
+                                                  "imbalance",
+                                                  "oversubscription",
+                                                  "payload_bytes",
+                                                  "perturbation",
+                                                  "signed_imbalance")):
+            parts.append(f"{key}={value}")
+        if len(parts) == 3:
+            break
+    return ", ".join(parts)
+
+
+def annotate(message: str) -> None:
+    prefix = "::warning::" if os.environ.get("GITHUB_ACTIONS") else "WARNING: "
+    print(f"{prefix}{message}")
+
+
+def compare(base: dict, cand: dict, threshold: float) -> list[str]:
+    regressions = []
+    if bool(base.get("smoke")) != bool(cand.get("smoke")):
+        print(f"note: {cand['figure']}: smoke flags differ between base and "
+              "candidate; skipping", file=sys.stderr)
+        return regressions
+    base_series = {s.get("name", ""): s["points"] for s in base["series"]}
+    for series in cand["series"]:
+        name = series.get("name", "")
+        base_points = base_series.get(name)
+        if base_points is None:
+            continue  # new series on the candidate side: nothing to compare
+        for i, point in enumerate(series["points"]):
+            if i >= len(base_points):
+                break
+            key = metric_key(point)
+            if key is None or metric_key(base_points[i]) != key:
+                continue
+            old, new = base_points[i][key], point[key]
+            if old <= 0:
+                continue
+            growth = new / old - 1.0
+            if growth > threshold:
+                label = point_label(point)
+                where = f"{cand['figure']} [{name}]"
+                if label:
+                    where += f" ({label})"
+                regressions.append(
+                    f"{where}: {key} {old:.4g} -> {new:.4g} "
+                    f"(+{100 * growth:.1f}% vs main)")
+    return regressions
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Flag bench metric regressions between two artifact "
+                    "directories.")
+    parser.add_argument("base_dir", type=Path,
+                        help="reference BENCH_*.json directory (e.g. main)")
+    parser.add_argument("candidate_dir", type=Path,
+                        help="candidate BENCH_*.json directory (this run)")
+    parser.add_argument("--threshold", type=float, default=0.2,
+                        help="relative growth that counts as a regression "
+                             "(default: 0.2 = +20%%)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero when regressions are found "
+                             "(default: fail-soft, always exit 0)")
+    args = parser.parse_args()
+
+    base = load_dir(args.base_dir)
+    cand = load_dir(args.candidate_dir)
+    if not cand:
+        print(f"error: no BENCH_*.json reports in {args.candidate_dir}",
+              file=sys.stderr)
+        return 0 if not args.strict else 1
+    if not base:
+        print(f"note: no base reports in {args.base_dir}; nothing to "
+              "compare against (first run on a branch?)", file=sys.stderr)
+        return 0
+
+    regressions: list[str] = []
+    compared = 0
+    for figure, report in sorted(cand.items()):
+        if figure in base:
+            compared += 1
+            regressions.extend(compare(base[figure], report, args.threshold))
+
+    print(f"bench-trend: compared {compared} figure(s), "
+          f"{len(regressions)} regression(s) beyond "
+          f"+{100 * args.threshold:.0f}%")
+    for message in regressions:
+        annotate(message)
+    return 1 if (regressions and args.strict) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
