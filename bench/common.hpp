@@ -111,6 +111,27 @@ inline bool smoke() {
   return e != nullptr && e[0] != '\0' && std::string(e) != "0";
 }
 
+/// Directory to drop execution traces into (Chrome trace JSON, Paraver
+/// .prv/.row/.pcf), or null when TLB_TRACE_OUTPUT_DIR is unset: trace
+/// emission is opt-in because the files are large.
+inline const char* trace_output_dir() {
+  const char* e = std::getenv("TLB_TRACE_OUTPUT_DIR");
+  return (e != nullptr && e[0] != '\0') ? e : nullptr;
+}
+
+inline bool write_text_file(const std::string& path,
+                            const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  std::printf("[trace] wrote %s\n", path.c_str());
+  return true;
+}
+
 /// One flat JSON object built key by key; insertion order is preserved.
 /// Values are rendered immediately, so the object holds only strings.
 class JsonObject {
@@ -143,6 +164,12 @@ class JsonObject {
   }
   JsonObject& set(const std::string& key, const char* v) {
     return set(key, std::string(v));
+  }
+  /// Inserts pre-rendered JSON verbatim (nested objects — e.g. the
+  /// obs::Registry serialization). The caller guarantees validity.
+  JsonObject& set_raw(const std::string& key, const std::string& json) {
+    kv_.emplace_back(key, json);
+    return *this;
   }
 
   [[nodiscard]] std::string render() const {

@@ -7,6 +7,10 @@
 //     the steady state).
 #include "apps/micropp/workload.hpp"
 #include "bench/common.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/pop.hpp"
+#include "trace/paraver.hpp"
 #include "trace/recorder.hpp"
 
 namespace {
@@ -54,6 +58,7 @@ int main() {
     cfg.drom = v.drom;
     cfg.policy = v.drom ? tlb::core::PolicyKind::Global
                         : tlb::core::PolicyKind::None;
+    cfg.obs.spans = true;  // pure recording — schedules stay bit-identical
     tlb::apps::micropp::MicroPPWorkload wl(micropp4());
     tlb::core::ClusterRuntime rt(cfg);
     const auto r = rt.run(wl);
@@ -66,13 +71,35 @@ int main() {
                 static_cast<unsigned long long>(r.lewi_lends),
                 static_cast<unsigned long long>(r.lewi_borrows),
                 static_cast<unsigned long long>(r.drom_moves));
+    const tlb::obs::PopReport pop = rt.pop();
     report.point(v.name)
         .set("makespan", r.makespan)
         .set("vs_baseline", r.makespan / baseline)
         .set("offload_fraction", r.offload_fraction())
         .set("lewi_lends", r.lewi_lends)
         .set("lewi_borrows", r.lewi_borrows)
-        .set("drom_moves", r.drom_moves);
+        .set("drom_moves", r.drom_moves)
+        .set("pop_parallel_efficiency", pop.parallel_efficiency)
+        .set("pop_load_balance", pop.load_balance)
+        .set("pop_communication_efficiency", pop.communication_efficiency)
+        .set("pop_transfer_efficiency", pop.transfer_efficiency)
+        .set_raw("metrics", rt.metrics().to_json());
+
+    std::fputs(tlb::obs::render_pop(pop).c_str(), stdout);
+    const tlb::obs::CriticalPath cp =
+        tlb::obs::critical_path(rt.tasks(), *rt.spans());
+    std::fputs(tlb::obs::render_critical_path(cp).c_str(), stdout);
+
+    if (const char* dir = trace_output_dir()) {
+      const std::string stem = std::string(dir) + "/fig09_" + v.name;
+      write_text_file(stem + ".trace.json",
+                      tlb::obs::chrome_trace_json(*rt.spans(), 4, 4));
+      write_text_file(stem + ".prv",
+                      tlb::trace::to_paraver(rt.recorder(), r.makespan));
+      write_text_file(stem + ".row",
+                      tlb::trace::paraver_row_labels(rt.recorder()));
+      write_text_file(stem + ".pcf", tlb::trace::paraver_pcf());
+    }
 
     const auto& rec = rt.recorder();
     std::printf("   busy cores per (node, apprank), peak=48:\n");

@@ -5,6 +5,7 @@
 
 #include "core/policies.hpp"
 #include "net/config.hpp"
+#include "obs/config.hpp"
 #include "resil/config.hpp"
 #include "sched/config.hpp"
 #include "sim/cluster_spec.hpp"
@@ -67,6 +68,11 @@ struct RuntimeConfig {
   /// offloading on observed task waits. Unknown names are rejected at
   /// ClusterRuntime construction with the list of valid values.
   sched::SchedConfig sched;
+
+  /// Observability (tlb::obs). Off by default; enabling span collection is
+  /// pure recording and keeps schedules bit-identical (the metrics
+  /// registry is always on — it has no toggle to get wrong).
+  obs::ObsConfig obs;
 
   std::uint64_t seed = 42;       ///< expander generation seed
   bool record_traces = true;     ///< keep busy/owned series for figures

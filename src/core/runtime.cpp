@@ -125,6 +125,10 @@ ClusterRuntime::ClusterRuntime(RuntimeConfig config)
       [this] { return engine_.now(); }, topology_->worker_count());
   recorder_ = std::make_unique<trace::Recorder>(topology_->node_count(),
                                                 topology_->apprank_count());
+  register_metrics();
+  if (config_.obs.spans) {
+    span_collector_ = std::make_unique<obs::SpanCollector>();
+  }
 
   // Contention-aware interconnect (tlb::net): replace the analytic cost
   // model with a shared-link fabric. Both communicators route their
@@ -145,6 +149,9 @@ ClusterRuntime::ClusterRuntime(RuntimeConfig config)
     fabric_ = std::make_unique<net::Fabric>(engine_, std::move(topo));
     fabric_->set_congestion_threshold(nconf.congestion_threshold);
     fabric_->set_recorder(recorder_.get());
+    if (span_collector_ != nullptr) {
+      fabric_->set_span_sink(span_collector_.get());
+    }
     app_comm_->attach_fabric(fabric_.get());
     ctrl_comm_->attach_fabric(fabric_.get());
     link_load_view_ = std::make_unique<net::LinkLoadView>(*fabric_);
@@ -157,6 +164,47 @@ ClusterRuntime::ClusterRuntime(RuntimeConfig config)
   // fully-constructed runtime through the RuntimeView window; throws on an
   // unknown policy name (listing the valid values).
   scheduler_ = sched::make_scheduler(config_.sched, *this);
+}
+
+void ClusterRuntime::register_metrics() {
+  m_.control_messages = &metrics_.counter("core.control_messages");
+  m_.transfer_bytes = &metrics_.counter("core.transfer_bytes");
+  m_.tasks_reexecuted = &metrics_.counter("fault.tasks_reexecuted");
+  m_.workers_crashed = &metrics_.counter("fault.workers_crashed");
+  m_.heartbeat_messages = &metrics_.counter("resil.heartbeat_messages");
+  m_.detections = &metrics_.counter("resil.detections");
+  m_.false_suspicions = &metrics_.counter("resil.false_suspicions");
+  m_.lease_retransmits = &metrics_.counter("resil.lease_retransmits");
+  m_.lease_expiries = &metrics_.counter("resil.lease_expiries");
+  m_.duplicates_suppressed = &metrics_.counter("resil.duplicates_suppressed");
+  m_.quarantine_ejections = &metrics_.counter("resil.quarantine_ejections");
+  m_.quarantine_readmissions =
+      &metrics_.counter("resil.quarantine_readmissions");
+  m_.policy_downshifts = &metrics_.counter("resil.policy_downshifts");
+  m_.rewired_edges = &metrics_.counter("resil.rewired_edges");
+  m_.detection_latency_sum = &metrics_.gauge("resil.detection_latency_sum_s");
+  m_.perfect_time = &metrics_.gauge("core.perfect_time_s");
+  m_.iteration_time = &metrics_.histogram(
+      "core.iteration_time_s",
+      {0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0});
+}
+
+obs::PopReport ClusterRuntime::pop() const {
+  std::vector<int> worker_apprank;
+  worker_apprank.reserve(static_cast<std::size_t>(topology_->worker_count()));
+  for (int w = 0; w < topology_->worker_count(); ++w) {
+    worker_apprank.push_back(topology_->worker(w).apprank);
+  }
+  double total_cores = 0.0;
+  for (const auto& n : config_.cluster.nodes) total_cores += n.cores;
+  const double elapsed =
+      result_.makespan > 0.0 ? result_.makespan : engine_.now();
+  const double transfer_wait =
+      span_collector_ != nullptr
+          ? span_collector_->transfer_wait_core_seconds()
+          : 0.0;
+  return obs::pop_report(*talp_, worker_apprank, topology_->apprank_count(),
+                         total_cores, elapsed, transfer_wait);
 }
 
 RunResult ClusterRuntime::run(Workload& workload) {
@@ -187,7 +235,24 @@ RunResult ClusterRuntime::run(Workload& workload) {
   start_iteration_all();
   engine_.run();
 
-  // Collect statistics.
+  // Collect statistics. Runtime-event counters were incremented into the
+  // registry live; RunResult is the stable compatibility view over it.
+  result_.control_messages = m_.control_messages->value();
+  result_.transfer_bytes = m_.transfer_bytes->value();
+  result_.tasks_reexecuted = m_.tasks_reexecuted->value();
+  result_.workers_crashed = m_.workers_crashed->value();
+  result_.heartbeat_messages = m_.heartbeat_messages->value();
+  result_.detections = m_.detections->value();
+  result_.false_suspicions = m_.false_suspicions->value();
+  result_.detection_latency_sum = m_.detection_latency_sum->value();
+  result_.lease_retransmits = m_.lease_retransmits->value();
+  result_.lease_expiries = m_.lease_expiries->value();
+  result_.duplicates_suppressed = m_.duplicates_suppressed->value();
+  result_.quarantine_ejections = m_.quarantine_ejections->value();
+  result_.quarantine_readmissions = m_.quarantine_readmissions->value();
+  result_.policy_downshifts = m_.policy_downshifts->value();
+  result_.rewired_edges = m_.rewired_edges->value();
+  result_.perfect_time = m_.perfect_time->value();
   result_.tasks_total = recorder_->tasks_total();
   result_.tasks_offloaded = recorder_->tasks_offloaded();
   result_.work_total = recorder_->work_total();
@@ -205,6 +270,49 @@ RunResult ClusterRuntime::run(Workload& workload) {
   result_.sched_policy = scheduler_->name();
   result_.sched = scheduler_->stats();
   result_.events_fired = engine_.events_fired();
+
+  // Snapshot the remaining subsystem statistics into the registry so one
+  // serialization (Registry::to_json) covers the whole run.
+  metrics_.counter("core.tasks_total").inc(result_.tasks_total);
+  metrics_.counter("core.tasks_offloaded").inc(result_.tasks_offloaded);
+  metrics_.gauge("core.work_total").set(result_.work_total);
+  metrics_.gauge("core.work_offloaded").set(result_.work_offloaded);
+  metrics_.gauge("core.makespan_s").set(result_.makespan);
+  metrics_.counter("dlb.lewi_lends").inc(result_.lewi_lends);
+  metrics_.counter("dlb.lewi_borrows").inc(result_.lewi_borrows);
+  metrics_.counter("dlb.lewi_reclaims").inc(result_.lewi_reclaims);
+  metrics_.counter("dlb.drom_moves").inc(result_.drom_moves);
+  metrics_.counter("vmpi.messages_lost").inc(result_.messages_lost);
+  metrics_.counter("vmpi.retransmissions").inc(result_.retransmissions);
+  metrics_.counter("sched.decisions").inc(result_.sched.decisions);
+  metrics_.counter("sched.offloads_considered")
+      .inc(result_.sched.offloads_considered);
+  metrics_.counter("sched.offloads_steered")
+      .inc(result_.sched.offloads_steered);
+  metrics_.counter("sched.offloads_suppressed")
+      .inc(result_.sched.offloads_suppressed);
+  metrics_.counter("sim.events_fired").inc(result_.events_fired);
+  if (fabric_ != nullptr) {
+    metrics_.counter("net.flows_started").inc(fabric_->flows_started());
+    metrics_.counter("net.flows_completed").inc(fabric_->flows_completed());
+    metrics_.counter("net.flows_cancelled").inc(fabric_->flows_cancelled());
+    metrics_.counter("net.bytes_delivered").inc(fabric_->bytes_delivered());
+    obs::Histogram& fct = metrics_.histogram(
+        "net.fct_s",
+        {1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0});
+    for (const double f : fabric_->completion_times()) fct.add(f);
+  }
+  const obs::PopReport pr = pop();
+  metrics_.gauge("pop.parallel_efficiency").set(pr.parallel_efficiency);
+  metrics_.gauge("pop.load_balance").set(pr.load_balance);
+  metrics_.gauge("pop.communication_efficiency")
+      .set(pr.communication_efficiency);
+  metrics_.gauge("pop.transfer_efficiency").set(pr.transfer_efficiency);
+  if (span_collector_ != nullptr) {
+    metrics_.counter("obs.rescues").inc(span_collector_->rescues());
+    metrics_.gauge("obs.transfer_wait_core_s")
+        .set(span_collector_->transfer_wait_core_seconds());
+  }
   return result_;
 }
 
@@ -223,14 +331,16 @@ void ClusterRuntime::start_iteration_all() {
           pool_.create(a, spec.work, spec.accesses, spec.offloadable);
       nanos::Task& t = pool_.get(id);
       t.created_at = engine_.now();
+      sink().task_created(id, a, engine_.now());
       if (st.deps->register_task(id)) {
         t.ready_at = engine_.now();
+        sink().task_ready(id, engine_.now());
         on_task_ready(id);
       }
     }
     if (st.outstanding == 0) enter_barrier(a);
   }
-  result_.perfect_time += iteration_work / config_.cluster.total_capacity();
+  m_.perfect_time->add(iteration_work / config_.cluster.total_capacity());
   for (int n = 0; n < topology_->node_count(); ++n) kick_node(n);
 }
 
@@ -257,7 +367,7 @@ void ClusterRuntime::enter_barrier(int apprank) {
     const auto sources = st.locations->pull_by_source(regions, home);
     auto remaining = std::make_shared<int>(0);
     for (const auto& [src, bytes] : sources) {
-      result_.transfer_bytes += bytes;
+      m_.transfer_bytes->inc(bytes);
       *remaining += 1;
       fabric_->start_flow(src, home, bytes, [remaining, do_barrier] {
         if (--*remaining == 0) do_barrier();
@@ -270,7 +380,7 @@ void ClusterRuntime::enter_barrier(int apprank) {
   sim::SimTime delay = 0.0;
   if (bytes > 0) {
     delay = faulted_transfer_time(bytes);
-    result_.transfer_bytes += bytes;
+    m_.transfer_bytes->inc(bytes);
   }
   engine_.after(delay, do_barrier);
 }
@@ -278,6 +388,7 @@ void ClusterRuntime::enter_barrier(int apprank) {
 void ClusterRuntime::on_barrier_done() {
   const int iteration = appranks_.front().iteration;
   result_.iteration_times.push_back(engine_.now() - last_barrier_time_);
+  m_.iteration_time->add(engine_.now() - last_barrier_time_);
   last_barrier_time_ = engine_.now();
 
   std::vector<double> apprank_times(
@@ -315,11 +426,19 @@ int ClusterRuntime::pick_worker(const nanos::Task& task) {
   // with congestion marks.
   const sched::Decision d = scheduler_->pick(task);
   if (d.kind == sched::DecisionKind::Steered) {
-    mark_trace("sched steer: task " + std::to_string(task.id) + " -> worker " +
-               std::to_string(d.worker));
+    recorder_->mark(engine_.now(),
+                    "sched steer: task " + std::to_string(task.id) +
+                        " -> worker " + std::to_string(d.worker),
+                    trace::MarkKind::SchedSteer, d.worker);
+    sink().sched_decision(task.id, obs::SchedVerdict::Steered, d.worker,
+                          engine_.now());
   } else if (d.kind == sched::DecisionKind::Suppressed) {
-    mark_trace("sched suppress: task " + std::to_string(task.id) +
-               (d.worker >= 0 ? " held home" : " held centrally"));
+    recorder_->mark(engine_.now(),
+                    "sched suppress: task " + std::to_string(task.id) +
+                        (d.worker >= 0 ? " held home" : " held centrally"),
+                    trace::MarkKind::SchedSuppress, d.worker);
+    sink().sched_decision(task.id, obs::SchedVerdict::Suppressed, d.worker,
+                          engine_.now());
   }
   return d.worker;
 }
@@ -347,6 +466,7 @@ void ClusterRuntime::assign_to_worker(nanos::TaskId id, WorkerId w) {
   task.state = nanos::TaskState::Scheduled;
   task.scheduled_node = info.node;
   workers_[static_cast<std::size_t>(w)].inflight += 1;
+  sink().task_scheduled(id, w, info.node, !info.is_home, engine_.now());
 
   // Offloading is final from here (§5.5). A home assignment is a local
   // runtime call; a remote one is an offload control message over the
@@ -357,7 +477,7 @@ void ClusterRuntime::assign_to_worker(nanos::TaskId id, WorkerId w) {
     finish_assignment(id, w);
     return;
   }
-  ++result_.control_messages;
+  m_.control_messages->inc();
   workers_[static_cast<std::size_t>(w)].pending += 1;
   if (resil_active()) {
     // Lease/ACK protocol (tlb::resil): the assignment is covered by an
@@ -409,7 +529,8 @@ void ClusterRuntime::finish_assignment(nanos::TaskId id, WorkerId w) {
     task.transfer_bytes = bytes;
     task.data_ready_at = engine_.now();
     if (bytes > 0) {
-      result_.transfer_bytes += bytes;
+      m_.transfer_bytes->inc(bytes);
+      sink().transfer_begin(id, bytes, info.node, engine_.now());
       pd.remaining = static_cast<int>(pd.flows.size());
       pd.worker = w;
       pd.started = engine_.now();
@@ -424,7 +545,12 @@ void ClusterRuntime::finish_assignment(nanos::TaskId id, WorkerId w) {
   sim::SimTime cost = 0.0;
   if (bytes > 0) {
     cost = faulted_transfer_time(bytes);
-    result_.transfer_bytes += bytes;
+    m_.transfer_bytes->inc(bytes);
+    // The analytic model resolves the transfer window up front; record
+    // both edges now (the end timestamp lies in the future, which the
+    // span record represents exactly).
+    sink().transfer_begin(id, bytes, info.node, engine_.now());
+    sink().transfer_end(id, engine_.now() + cost);
   }
   task.data_ready_at = engine_.now() + cost;
   workers_[static_cast<std::size_t>(w)].queue.push_back(id);
@@ -534,11 +660,20 @@ void ClusterRuntime::begin_compute(std::uint64_t exec_id, sim::SimTime wait) {
           auto it2 = running_.find(exec_id);
           assert(it2 != running_.end());
           it2->second.busy_applied = true;
+          // A ghost's lease moved on and the task already has a newer
+          // attempt; recording into it would corrupt that attempt.
+          if (!it2->second.ghost) {
+            sink().exec_begin(it2->second.task, w, node, it2->second.core,
+                              engine_.now());
+          }
         });
   } else {
     talp_->on_busy_delta(w, +1);
     recorder_->busy_delta(engine_.now(), node, apprank, +1);
     run.busy_applied = true;
+    if (!run.ghost) {
+      sink().exec_begin(run.task, w, node, run.core, engine_.now());
+    }
   }
   run.finish_event = engine_.after(wait + compute, [this, exec_id] {
     on_task_finished(exec_id);
@@ -552,6 +687,7 @@ void ClusterRuntime::on_input_arrived(nanos::TaskId id) {
   assert(pd.remaining > 0);
   if (--pd.remaining > 0) return;
   pool_.get(id).data_ready_at = engine_.now();
+  sink().transfer_end(id, engine_.now());
   const bool waiting = pd.exec_waiting;
   const std::uint64_t exec = pd.exec;
   const sim::SimTime overhead = pd.overhead;
@@ -589,7 +725,7 @@ void ClusterRuntime::on_task_finished(std::uint64_t exec_id) {
     // frees its core and reports a completion that names a stale epoch —
     // the home runtime suppresses it. No scheduler state moves here; the
     // task itself was already re-queued elsewhere.
-    ++result_.control_messages;
+    m_.control_messages->inc();
     const WorkerId home_w = topology_->home_worker(info.apprank);
     ctrl_comm_->send(w, home_w, kTagComplete, 0,
                      [this, id = run.task, w, epoch = run.epoch](
@@ -601,6 +737,7 @@ void ClusterRuntime::on_task_finished(std::uint64_t exec_id) {
   }
 
   task.finish_at = engine_.now();
+  sink().exec_end(run.task, engine_.now());
   workers_[static_cast<std::size_t>(w)].inflight -= 1;
 
   const int apprank = task.apprank;
@@ -612,7 +749,7 @@ void ClusterRuntime::on_task_finished(std::uint64_t exec_id) {
   // Dependency release and taskwait accounting happen on the apprank's
   // home runtime instance; a remote completion needs a control message.
   if (node != home) {
-    ++result_.control_messages;
+    m_.control_messages->inc();
     const WorkerId home_w = topology_->home_worker(apprank);
     if (resil_active()) {
       // The completion names its lease epoch so the home runtime can tell
@@ -645,11 +782,13 @@ void ClusterRuntime::on_task_finished(std::uint64_t exec_id) {
 void ClusterRuntime::complete_task(nanos::TaskId id) {
   const int apprank = pool_.get(id).apprank;
   ApprankState& state = appranks_[static_cast<std::size_t>(apprank)];
+  sink().task_done(id, engine_.now());
   const auto ready = state.deps->on_task_finished(id);
   std::vector<int> touched;
   for (nanos::TaskId r : ready) {
     nanos::Task& rt = pool_.get(r);
     rt.ready_at = engine_.now();
+    sink().task_ready(r, engine_.now());
     on_task_ready(r);
     if (rt.state == nanos::TaskState::Scheduled) {
       touched.push_back(rt.scheduled_node);
@@ -796,7 +935,7 @@ void ClusterRuntime::policy_tick() {
   }
   if (level != policy_level_) {
     if (level > policy_level_) {
-      ++result_.policy_downshifts;
+      m_.policy_downshifts->inc();
       mark_trace(level == 1 ? "policy downshift: global -> local"
                             : "policy downshift: -> static ownership");
     } else {
@@ -907,7 +1046,8 @@ void ClusterRuntime::rescue_task(nanos::TaskId id, WorkerId from,
   task.scheduled_node = -1;
   task.data_ready_at = 0.0;
   task.reexecutions += 1;
-  ++result_.tasks_reexecuted;
+  m_.tasks_reexecuted->inc();
+  sink().task_rescued(id, from, engine_.now());
   on_task_ready(id);
 }
 
@@ -919,7 +1059,7 @@ void ClusterRuntime::crash_worker(WorkerId w) {
   if (!alive_[static_cast<std::size_t>(w)] || done_) return;
   alive_[static_cast<std::size_t>(w)] = 0;
   crashed_at_[static_cast<std::size_t>(w)] = engine_.now();
-  ++result_.workers_crashed;
+  m_.workers_crashed->inc();
 
   const int node = info.node;
   dlb::NodeCores& nc = *node_cores_[static_cast<std::size_t>(node)];
@@ -1033,7 +1173,7 @@ void ClusterRuntime::start_heartbeats() {
 
 void ClusterRuntime::send_heartbeat(WorkerId w) {
   if (done_ || !alive_[static_cast<std::size_t>(w)]) return;  // fell silent
-  ++result_.heartbeat_messages;
+  m_.heartbeat_messages->inc();
   const WorkerId home = topology_->home_worker(topology_->worker(w).apprank);
   ctrl_comm_->send(w, home, kTagHeartbeat, 0,
                    [this, w](const vmpi::Message&) { on_heartbeat(w); });
@@ -1105,7 +1245,7 @@ void ClusterRuntime::on_offload_delivered(nanos::TaskId id, WorkerId w,
         node_speed_[static_cast<std::size_t>(topology_->worker(w).node)];
     engine_.after(task.work / speed, [this, id, w, epoch] {
       if (done_ || !alive_[static_cast<std::size_t>(w)]) return;
-      ++result_.control_messages;
+      m_.control_messages->inc();
       const WorkerId home_w = topology_->home_worker(pool_.get(id).apprank);
       ctrl_comm_->send(w, home_w, kTagComplete, 0,
                        [this, id, w, epoch](const vmpi::Message&) {
@@ -1130,7 +1270,7 @@ void ClusterRuntime::on_offload_delivered(nanos::TaskId id, WorkerId w,
 
 void ClusterRuntime::send_ack(nanos::TaskId id, WorkerId w,
                               std::uint64_t epoch) {
-  ++result_.control_messages;
+  m_.control_messages->inc();
   const WorkerId home = topology_->home_worker(pool_.get(id).apprank);
   ctrl_comm_->send(w, home, kTagAck, 0,
                    [this, id, w, epoch](const vmpi::Message&) {
@@ -1161,8 +1301,8 @@ void ClusterRuntime::on_lease_timeout(nanos::TaskId id) {
   const WorkerId w = lease->worker;
   if (lease->attempts < config_.resil.lease_max_attempts) {
     lease->attempts += 1;
-    ++result_.lease_retransmits;
-    ++result_.control_messages;
+    m_.lease_retransmits->inc();
+    m_.control_messages->inc();
     send_offload(id, w, lease->epoch);
     lease->timer = engine_.after(
         resil::LeaseTable::backoff_delay(config_.resil, lease->attempts),
@@ -1171,7 +1311,7 @@ void ClusterRuntime::on_lease_timeout(nanos::TaskId id) {
   }
   // Attempts exhausted: the lease expires. The task moves elsewhere; the
   // worker moves towards quarantine.
-  ++result_.lease_expiries;
+  m_.lease_expiries->inc();
   lease->timer = sim::kInvalidEvent;
   if (quarantine_->record_expiry(w) &&
       !suspected_[static_cast<std::size_t>(w)]) {
@@ -1191,7 +1331,7 @@ void ClusterRuntime::on_completion(nanos::TaskId id, WorkerId w,
     // was re-queued, possibly already completed elsewhere). Suppressing it
     // here is what makes completion accounting exactly-once at the home
     // runtime.
-    ++result_.duplicates_suppressed;
+    m_.duplicates_suppressed->inc();
     return;
   }
   engine_.cancel(lease->timer);
@@ -1251,16 +1391,16 @@ void ClusterRuntime::suspect_worker(WorkerId w) {
 
   // Detection verdict: real failure or false suspicion?
   if (!alive_[static_cast<std::size_t>(w)]) {
-    ++result_.detections;
+    m_.detections->inc();
     const double latency =
         engine_.now() - crashed_at_[static_cast<std::size_t>(w)];
-    result_.detection_latency_sum += latency;
+    m_.detection_latency_sum->add(latency);
     if (recovery_series_ != nullptr) {
       recovery_series_->record_detection(engine_.now(), w, true, latency);
     }
     mark_trace("detected crash of worker " + std::to_string(w));
   } else {
-    ++result_.false_suspicions;
+    m_.false_suspicions->inc();
     if (recovery_series_ != nullptr) {
       recovery_series_->record_detection(engine_.now(), w, false, 0.0);
     }
@@ -1269,7 +1409,7 @@ void ClusterRuntime::suspect_worker(WorkerId w) {
 
   // Outlier ejection (Envoy-style): out of pick_worker candidacy until the
   // cooling period ends, then probed back in.
-  ++result_.quarantine_ejections;
+  m_.quarantine_ejections->inc();
   const sim::SimTime cooled = quarantine_->eject(w, engine_.now());
   engine_.at(cooled, [this, w] { probe_worker(w); });
 
@@ -1303,7 +1443,7 @@ void ClusterRuntime::probe_worker(WorkerId w) {
     // Forget pre-ejection inter-arrival history (it includes the silence
     // that caused the ejection and would poison the fresh estimate).
     detectors_[static_cast<std::size_t>(w)].reset();
-    ++result_.quarantine_readmissions;
+    m_.quarantine_readmissions->inc();
     mark_trace("readmitted worker " + std::to_string(w));
     if (config_.drom_active() && !done_) {
       engine_.cancel(policy_event_);
@@ -1358,7 +1498,7 @@ void ClusterRuntime::maybe_rewire(int apprank) {
     engine_.after(config_.resil.heartbeat_period,
                   [this, w] { send_heartbeat(w); });
   }
-  ++result_.rewired_edges;
+  m_.rewired_edges->inc();
   mark_trace("rewired apprank " + std::to_string(apprank) + " -> node " +
              std::to_string(node));
   // The new worker owns no cores yet; the policy re-solve that follows the

@@ -53,6 +53,9 @@
 #include "nanos/task.hpp"
 #include "net/fabric.hpp"
 #include "net/link_load.hpp"
+#include "obs/metrics.hpp"
+#include "obs/pop.hpp"
+#include "obs/span.hpp"
 #include "resil/config.hpp"
 #include "resil/lease.hpp"
 #include "resil/phi_detector.hpp"
@@ -97,6 +100,30 @@ class ClusterRuntime : private sched::RuntimeView {
   [[nodiscard]] const sched::Scheduler& scheduler() const {
     return *scheduler_;
   }
+
+  // --- observability (tlb::obs) ---------------------------------------------
+
+  /// The run's metrics registry: every counter RunResult reports is
+  /// registry-backed (incremented live at the original call sites), and
+  /// run() snapshots the remaining subsystem statistics (LeWI/DROM, sched,
+  /// fabric FCTs, POP efficiencies) into it before returning.
+  [[nodiscard]] const obs::Registry& metrics() const { return metrics_; }
+
+  /// Per-task lifecycle spans, or nullptr unless RuntimeConfig::obs.spans
+  /// was set. Feed to obs::chrome_trace_json / obs::critical_path.
+  [[nodiscard]] const obs::SpanCollector* spans() const {
+    return span_collector_.get();
+  }
+
+  /// TALP busy-core accounting (post-run inspection; the POP report's
+  /// efficiency inputs).
+  [[nodiscard]] const dlb::TalpModule& talp() const { return *talp_; }
+
+  /// POP-style efficiency report over the completed run: parallel
+  /// efficiency is TALP's aggregate busy / (cores x elapsed); the
+  /// transfer-efficiency factor uses the span collector's transfer-wait
+  /// integral (0 when span collection was off).
+  [[nodiscard]] obs::PopReport pop() const;
 
   /// The contention-aware fabric (RuntimeConfig::net.enabled), or nullptr
   /// when the analytic cost model is active. Remains readable after run()
@@ -312,6 +339,18 @@ class ClusterRuntime : private sched::RuntimeView {
   /// left (expander rewire across graph / topology / vmpi / DLB layers).
   void maybe_rewire(int apprank);
 
+  // Observability (tlb::obs).
+  /// The span sink lifecycle hooks emit into: the collector when
+  /// config_.obs.spans is set, else a shared no-op (one virtual call and
+  /// nothing else — the disabled path stays cheap and branch-free at the
+  /// call sites).
+  [[nodiscard]] obs::SpanSink& sink() {
+    return span_collector_ != nullptr
+               ? static_cast<obs::SpanSink&>(*span_collector_)
+               : null_sink_;
+  }
+  void register_metrics();
+
   // DROM policy loop (§5.4).
   void schedule_policy_tick();
   void policy_tick();
@@ -332,6 +371,33 @@ class ClusterRuntime : private sched::RuntimeView {
   std::vector<std::unique_ptr<dlb::DromModule>> drom_;
   std::unique_ptr<dlb::TalpModule> talp_;
   std::unique_ptr<trace::Recorder> recorder_;
+  /// Unified metrics registry (always on) and the per-task span collector
+  /// (config_.obs.spans only). Declared before fabric_/scheduler_, which
+  /// hold raw sink pointers into the collector.
+  obs::Registry metrics_;
+  std::unique_ptr<obs::SpanCollector> span_collector_;
+  obs::SpanSink null_sink_;
+  /// Cached registry handles for the hot counters incremented at the
+  /// original RunResult call sites (no name lookup per event).
+  struct MetricRefs {
+    obs::Counter* control_messages = nullptr;
+    obs::Counter* transfer_bytes = nullptr;
+    obs::Counter* tasks_reexecuted = nullptr;
+    obs::Counter* workers_crashed = nullptr;
+    obs::Counter* heartbeat_messages = nullptr;
+    obs::Counter* detections = nullptr;
+    obs::Counter* false_suspicions = nullptr;
+    obs::Counter* lease_retransmits = nullptr;
+    obs::Counter* lease_expiries = nullptr;
+    obs::Counter* duplicates_suppressed = nullptr;
+    obs::Counter* quarantine_ejections = nullptr;
+    obs::Counter* quarantine_readmissions = nullptr;
+    obs::Counter* policy_downshifts = nullptr;
+    obs::Counter* rewired_edges = nullptr;
+    obs::Gauge* detection_latency_sum = nullptr;
+    obs::Gauge* perfect_time = nullptr;
+    obs::Histogram* iteration_time = nullptr;
+  } m_;
   /// Non-null iff config_.net.enabled (declared after recorder_: the
   /// fabric holds a raw pointer to the recorder).
   std::unique_ptr<net::Fabric> fabric_;

@@ -1,0 +1,45 @@
+// Chrome trace-event JSON export of task spans (tlb::obs).
+//
+// Renders a SpanCollector as the Chrome trace-event format that
+// chrome://tracing and Perfetto (ui.perfetto.dev) load directly: one
+// process per node, one thread (track) per (node, apprank) pair, duration
+// events ("ph": "B"/"E") for the offload-transfer and execution phases of
+// every attempt, and instant events for scheduler verdicts, rescues and
+// congestion marks. Timestamps are microseconds of simulated time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/span.hpp"
+
+namespace tlb::obs {
+
+/// One trace event, pre-serialization. Exposed so tests can assert
+/// structural invariants (monotone timestamps, B/E pairing) without
+/// parsing JSON.
+struct ChromeEvent {
+  std::string name;
+  char ph = 'i';           ///< B, E, i (instant), M (metadata)
+  std::int64_t ts_us = 0;  ///< microseconds of simulated time
+  int pid = 0;             ///< node
+  int tid = 0;             ///< apprank
+  std::string args;        ///< pre-rendered JSON object ("" = none)
+};
+
+/// The event list for a collected run: metadata first, then all span and
+/// instant events in non-decreasing timestamp order. `nodes` and
+/// `appranks` size the track naming.
+std::vector<ChromeEvent> chrome_events(const SpanCollector& spans, int nodes,
+                                       int appranks);
+
+/// Serializes the event list as a Chrome trace JSON document
+/// ({"traceEvents": [...], "displayTimeUnit": "ms"}).
+std::string chrome_trace_json(const std::vector<ChromeEvent>& events);
+
+/// Convenience: chrome_trace_json(chrome_events(...)).
+std::string chrome_trace_json(const SpanCollector& spans, int nodes,
+                              int appranks);
+
+}  // namespace tlb::obs

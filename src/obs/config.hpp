@@ -1,0 +1,15 @@
+// Observability configuration (tlb::obs).
+#pragma once
+
+namespace tlb::obs {
+
+struct ObsConfig {
+  /// Collect per-task lifecycle spans (obs::SpanCollector) during the run.
+  /// Off by default: span collection is pure recording — it never posts
+  /// engine events, touches RNG streams, or feeds back into scheduling —
+  /// so enabling it keeps schedules bit-identical, but it costs memory
+  /// proportional to the task count.
+  bool spans = false;
+};
+
+}  // namespace tlb::obs

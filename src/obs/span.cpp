@@ -1,0 +1,117 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tlb::obs {
+
+SpanCollector::TaskSpan& SpanCollector::at(nanos::TaskId id) {
+  const auto idx = static_cast<std::size_t>(id);
+  if (idx >= spans_.size()) spans_.resize(idx + 1);
+  return spans_[idx];
+}
+
+SpanCollector::Attempt& SpanCollector::open_attempt(nanos::TaskId id) {
+  TaskSpan& s = at(id);
+  assert(!s.attempts.empty() && "attempt events before task_scheduled");
+  return s.attempts.back();
+}
+
+void SpanCollector::task_created(nanos::TaskId id, int apprank,
+                                 sim::SimTime t) {
+  TaskSpan& s = at(id);
+  s.id = id;
+  s.apprank = apprank;
+  s.created_at = t;
+}
+
+void SpanCollector::task_ready(nanos::TaskId id, sim::SimTime t) {
+  TaskSpan& s = at(id);
+  // Only the first readiness counts as the lifecycle edge; a rescue that
+  // re-queues the task keeps the original ready time (the re-queue itself
+  // is recorded on the voided attempt).
+  if (s.ready_at < 0.0) s.ready_at = t;
+}
+
+void SpanCollector::task_scheduled(nanos::TaskId id, int worker, int node,
+                                   bool offloaded, sim::SimTime t) {
+  (void)offloaded;
+  TaskSpan& s = at(id);
+  Attempt a;
+  a.worker = worker;
+  a.node = node;
+  a.scheduled_at = t;
+  s.attempts.push_back(a);
+}
+
+void SpanCollector::sched_decision(nanos::TaskId id, SchedVerdict verdict,
+                                   int worker, sim::SimTime t) {
+  at(id).verdict = verdict;
+  if (verdict == SchedVerdict::Baseline) return;
+  InstantEvent e;
+  e.t = t;
+  e.node = worker;
+  e.name = (verdict == SchedVerdict::Steered ? "sched steer task "
+                                             : "sched suppress task ") +
+           std::to_string(id);
+  instants_.push_back(std::move(e));
+}
+
+void SpanCollector::transfer_begin(nanos::TaskId id, std::uint64_t bytes,
+                                   int node, sim::SimTime t) {
+  Attempt& a = open_attempt(id);
+  a.transfer_start = t;
+  a.transfer_bytes = bytes;
+  (void)node;
+}
+
+void SpanCollector::transfer_end(nanos::TaskId id, sim::SimTime t) {
+  Attempt& a = open_attempt(id);
+  a.transfer_end = t;
+}
+
+void SpanCollector::exec_begin(nanos::TaskId id, int worker, int node,
+                               int core, sim::SimTime t) {
+  Attempt& a = open_attempt(id);
+  a.worker = worker;
+  a.node = node;
+  a.core = core;
+  a.exec_start = t;
+  // A transfer that completed before compute began stalled the pipeline
+  // only up to exec_start; one still marked open was cancelled.
+  if (a.transfer_start >= 0.0 && a.transfer_end >= 0.0) {
+    transfer_wait_ +=
+        std::max(0.0, std::min(a.transfer_end, t) - a.transfer_start);
+  }
+}
+
+void SpanCollector::exec_end(nanos::TaskId id, sim::SimTime t) {
+  open_attempt(id).exec_end = t;
+}
+
+void SpanCollector::task_done(nanos::TaskId id, sim::SimTime t) {
+  at(id).done_at = t;
+}
+
+void SpanCollector::task_rescued(nanos::TaskId id, int worker,
+                                 sim::SimTime t) {
+  TaskSpan& s = at(id);
+  if (!s.attempts.empty()) s.attempts.back().rescued = true;
+  ++rescues_;
+  InstantEvent e;
+  e.t = t;
+  e.node = worker;
+  e.name = "rescue task " + std::to_string(id);
+  instants_.push_back(std::move(e));
+}
+
+void SpanCollector::link_congestion(int link, const std::string& name,
+                                    bool congested, sim::SimTime t) {
+  (void)link;
+  InstantEvent e;
+  e.t = t;
+  e.name = (congested ? "net congestion: " : "net cleared: ") + name;
+  instants_.push_back(std::move(e));
+}
+
+}  // namespace tlb::obs

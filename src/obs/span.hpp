@@ -1,0 +1,145 @@
+// Per-task lifecycle spans (tlb::obs).
+//
+// Every task gets a lifecycle record: created -> ready -> scheduled
+// (possibly steered or suppressed by the policy) -> offload-transfer
+// start/end -> execute start/end -> done, plus retries/rescues after
+// crashes or revoked leases. The runtime, scheduler and fabric emit these
+// through the SpanSink interface; the default sink is null (span
+// collection is off unless RuntimeConfig::obs.spans enables it).
+//
+// Determinism contract: sinks only *record*. They must not schedule
+// simulator events, read RNGs, or otherwise feed back into the run; a run
+// with span collection enabled is bit-identical (same schedule
+// fingerprint, same event count) to one without.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nanos/task.hpp"
+#include "sim/time.hpp"
+
+namespace tlb::obs {
+
+/// Scheduler verdicts relative to the locality baseline (tlb::sched).
+enum class SchedVerdict { Baseline, Steered, Suppressed };
+
+/// Receiver of task lifecycle events. All hooks are no-ops by default so
+/// emitters pay one virtual call per event and nothing else.
+class SpanSink {
+ public:
+  virtual ~SpanSink() = default;
+
+  virtual void task_created(nanos::TaskId /*id*/, int /*apprank*/,
+                            sim::SimTime /*t*/) {}
+  virtual void task_ready(nanos::TaskId /*id*/, sim::SimTime /*t*/) {}
+  /// `offloaded` = scheduled off the task's home node.
+  virtual void task_scheduled(nanos::TaskId /*id*/, int /*worker*/,
+                              int /*node*/, bool /*offloaded*/,
+                              sim::SimTime /*t*/) {}
+  virtual void sched_decision(nanos::TaskId /*id*/, SchedVerdict /*verdict*/,
+                              int /*worker*/, sim::SimTime /*t*/) {}
+  /// Eager input transfer towards the execution node began / delivered its
+  /// last byte. `bytes` is the total payload across all source nodes.
+  virtual void transfer_begin(nanos::TaskId /*id*/, std::uint64_t /*bytes*/,
+                              int /*node*/, sim::SimTime /*t*/) {}
+  virtual void transfer_end(nanos::TaskId /*id*/, sim::SimTime /*t*/) {}
+  /// Compute began on a core (busy, not merely occupied) / released it.
+  virtual void exec_begin(nanos::TaskId /*id*/, int /*worker*/, int /*node*/,
+                          int /*core*/, sim::SimTime /*t*/) {}
+  virtual void exec_end(nanos::TaskId /*id*/, sim::SimTime /*t*/) {}
+  /// Completion observed at the home runtime (dependencies released).
+  virtual void task_done(nanos::TaskId /*id*/, sim::SimTime /*t*/) {}
+  /// The assignment to `worker` was voided (crash / lease revocation) and
+  /// the task went back to the ready path.
+  virtual void task_rescued(nanos::TaskId /*id*/, int /*worker*/,
+                            sim::SimTime /*t*/) {}
+  /// A fabric link crossed / cleared the congestion threshold.
+  virtual void link_congestion(int /*link*/, const std::string& /*name*/,
+                               bool /*congested*/, sim::SimTime /*t*/) {}
+};
+
+/// In-memory SpanSink: one TaskSpan per task (indexed by dense task id),
+/// one attempt record per execution, plus the instant-event streams
+/// (scheduler verdicts, congestion marks) the Chrome exporter renders as
+/// instants.
+class SpanCollector final : public SpanSink {
+ public:
+  /// One execution attempt of a task. Times are -1 until observed.
+  struct Attempt {
+    int worker = -1;
+    int node = -1;
+    int core = -1;
+    sim::SimTime scheduled_at = -1.0;
+    sim::SimTime transfer_start = -1.0;
+    sim::SimTime transfer_end = -1.0;
+    sim::SimTime exec_start = -1.0;
+    sim::SimTime exec_end = -1.0;
+    std::uint64_t transfer_bytes = 0;
+    bool rescued = false;  ///< voided by a crash / revoked lease
+  };
+  struct TaskSpan {
+    nanos::TaskId id = nanos::kNoTask;
+    int apprank = -1;
+    sim::SimTime created_at = -1.0;
+    sim::SimTime ready_at = -1.0;
+    sim::SimTime done_at = -1.0;
+    SchedVerdict verdict = SchedVerdict::Baseline;
+    std::vector<Attempt> attempts;
+
+    /// The attempt that ran to completion (the last one), or null.
+    [[nodiscard]] const Attempt* final_attempt() const {
+      return attempts.empty() ? nullptr : &attempts.back();
+    }
+  };
+  struct InstantEvent {
+    sim::SimTime t = 0.0;
+    std::string name;
+    int node = -1;  ///< -1 = cluster-scoped (congestion marks)
+  };
+
+  void task_created(nanos::TaskId id, int apprank, sim::SimTime t) override;
+  void task_ready(nanos::TaskId id, sim::SimTime t) override;
+  void task_scheduled(nanos::TaskId id, int worker, int node, bool offloaded,
+                      sim::SimTime t) override;
+  void sched_decision(nanos::TaskId id, SchedVerdict verdict, int worker,
+                      sim::SimTime t) override;
+  void transfer_begin(nanos::TaskId id, std::uint64_t bytes, int node,
+                      sim::SimTime t) override;
+  void transfer_end(nanos::TaskId id, sim::SimTime t) override;
+  void exec_begin(nanos::TaskId id, int worker, int node, int core,
+                  sim::SimTime t) override;
+  void exec_end(nanos::TaskId id, sim::SimTime t) override;
+  void task_done(nanos::TaskId id, sim::SimTime t) override;
+  void task_rescued(nanos::TaskId id, int worker, sim::SimTime t) override;
+  void link_congestion(int link, const std::string& name, bool congested,
+                       sim::SimTime t) override;
+
+  [[nodiscard]] const std::vector<TaskSpan>& spans() const { return spans_; }
+  [[nodiscard]] const TaskSpan& span(nanos::TaskId id) const {
+    return spans_.at(static_cast<std::size_t>(id));
+  }
+  [[nodiscard]] const std::vector<InstantEvent>& instants() const {
+    return instants_;
+  }
+
+  // Aggregates maintained as events arrive (consumed by obs::pop_report).
+  /// Core-seconds spent occupied-but-not-busy waiting on input transfers
+  /// (transfer_end - exec claim, approximated by transfer windows).
+  [[nodiscard]] double transfer_wait_core_seconds() const {
+    return transfer_wait_;
+  }
+  [[nodiscard]] std::uint64_t rescues() const { return rescues_; }
+
+ private:
+  TaskSpan& at(nanos::TaskId id);
+  [[nodiscard]] Attempt& open_attempt(nanos::TaskId id);
+
+  std::vector<TaskSpan> spans_;
+  std::vector<InstantEvent> instants_;
+  double transfer_wait_ = 0.0;
+  std::uint64_t rescues_ = 0;
+};
+
+}  // namespace tlb::obs

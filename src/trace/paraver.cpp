@@ -30,6 +30,22 @@ void collect(const StepSeries& series, int thread, int type,
   }
 }
 
+int mark_event_type(MarkKind kind) {
+  switch (kind) {
+    case MarkKind::SchedSteer:
+      return kParaverSchedSteerEvent;
+    case MarkKind::SchedSuppress:
+      return kParaverSchedSuppressEvent;
+    case MarkKind::NetCongestion:
+      return kParaverNetCongestionEvent;
+    case MarkKind::NetCleared:
+      return kParaverNetClearedEvent;
+    case MarkKind::Generic:
+      break;
+  }
+  return 0;
+}
+
 }  // namespace
 
 std::string to_paraver(const Recorder& recorder, sim::SimTime end) {
@@ -45,6 +61,15 @@ std::string to_paraver(const Recorder& recorder, sim::SimTime end) {
               events);
     }
   }
+  // Typed marks are cluster-global instants; Paraver events need a thread,
+  // so they ride on thread 1 with the worker/link id as value.
+  for (const TypedMark& m : recorder.typed_marks()) {
+    const int type = mark_event_type(m.kind);
+    if (type == 0) continue;
+    const std::int64_t ns = to_ns(m.t);
+    if (ns > end_ns) continue;
+    events.push_back(EventRecord{ns, 1, type, m.value});
+  }
   std::stable_sort(events.begin(), events.end(),
                    [](const EventRecord& x, const EventRecord& y) {
                      return x.time < y.time;
@@ -59,6 +84,29 @@ std::string to_paraver(const Recorder& recorder, sim::SimTime end) {
     // Record type 2 = event: 2:cpu:appl:task:thread:time:type:value
     out << "2:" << e.thread << ":1:1:" << e.thread << ':' << e.time << ':'
         << e.type << ':' << e.value << '\n';
+  }
+  return out.str();
+}
+
+std::string paraver_pcf() {
+  std::ostringstream out;
+  out << "DEFAULT_OPTIONS\n\n"
+      << "LEVEL               THREAD\n"
+      << "UNITS               NANOSEC\n\n"
+      << "DEFAULT_SEMANTIC\n\n"
+      << "THREAD_FUNC         State As Is\n\n";
+  const std::pair<int, const char*> types[] = {
+      {kParaverBusyEvent, "Busy cores (apprank on node)"},
+      {kParaverOwnedEvent, "Owned cores (DROM allocation)"},
+      {kParaverSchedSteerEvent, "Scheduler steered offload (value: worker)"},
+      {kParaverSchedSuppressEvent,
+       "Scheduler suppressed offload (value: worker)"},
+      {kParaverNetCongestionEvent, "Fabric link congested (value: link)"},
+      {kParaverNetClearedEvent, "Fabric link cleared (value: link)"},
+  };
+  for (const auto& [type, label] : types) {
+    out << "EVENT_TYPE\n"
+        << "0    " << type << "    " << label << "\n\n";
   }
   return out.str();
 }

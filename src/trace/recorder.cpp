@@ -36,7 +36,14 @@ void Recorder::task_executed(int apprank, int node, int home_node,
 
 void Recorder::mark(sim::SimTime t, std::string label) {
   assert(marks_.empty() || t >= marks_.back().first);
+  if (!marks_.empty() && t < marks_.back().first) t = marks_.back().first;
   marks_.emplace_back(t, std::move(label));
+}
+
+void Recorder::mark(sim::SimTime t, std::string label, MarkKind kind,
+                    std::int64_t value) {
+  mark(t, std::move(label));
+  typed_marks_.push_back(TypedMark{marks_.back().first, kind, value});
 }
 
 const StepSeries& Recorder::busy(int node, int apprank) const {
@@ -106,11 +113,23 @@ std::string ascii_marks(
     sim::SimTime t0, sim::SimTime t1, int bins) {
   std::string row(static_cast<std::size_t>(bins), ' ');
   if (t1 <= t0) return row;
+  std::vector<int> counts(static_cast<std::size_t>(bins), 0);
   for (const auto& [t, label] : marks) {
     if (t < t0 || t >= t1) continue;
     auto bin = static_cast<std::size_t>((t - t0) / (t1 - t0) * bins);
-    if (bin >= row.size()) bin = row.size() - 1;
-    row[bin] = '^';
+    if (bin >= counts.size()) bin = counts.size() - 1;
+    ++counts[bin];
+  }
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const int c = counts[i];
+    if (c == 0) continue;
+    if (c == 1) {
+      row[i] = '^';
+    } else if (c <= 9) {
+      row[i] = static_cast<char>('0' + c);
+    } else {
+      row[i] = '#';
+    }
   }
   return row;
 }

@@ -17,6 +17,23 @@
 
 namespace tlb::trace {
 
+/// Classification of a timeline mark for the Paraver export. Generic marks
+/// render only as ASCII/CSV annotations; the typed kinds additionally map
+/// to dedicated Paraver event types (see trace/paraver.hpp).
+enum class MarkKind : std::uint8_t {
+  Generic,
+  SchedSteer,     ///< scheduler redirected an offload (value = worker)
+  SchedSuppress,  ///< scheduler suppressed an offload (value = worker)
+  NetCongestion,  ///< fabric link became congested (value = link id)
+  NetCleared,     ///< fabric link congestion cleared (value = link id)
+};
+
+struct TypedMark {
+  sim::SimTime t = 0.0;
+  MarkKind kind = MarkKind::Generic;
+  std::int64_t value = 0;
+};
+
 class Recorder {
  public:
   Recorder(int nodes, int appranks);
@@ -29,11 +46,21 @@ class Recorder {
   void task_executed(int apprank, int node, int home_node, double work);
 
   /// Annotates the timeline with a labelled instant (fault injections,
-  /// recoveries, phase changes). Times must be non-decreasing.
+  /// recoveries, phase changes). Times must be non-decreasing: a violation
+  /// asserts in debug builds and is clamped to the previous mark's time in
+  /// release builds, so the series stays sorted either way.
   void mark(sim::SimTime t, std::string label);
+  /// Typed variant: records the same labelled mark plus a (kind, value)
+  /// record that the Paraver exporter turns into a dedicated event type
+  /// (value = worker id for scheduler marks, link id for fabric marks).
+  void mark(sim::SimTime t, std::string label, MarkKind kind,
+            std::int64_t value);
   [[nodiscard]] const std::vector<std::pair<sim::SimTime, std::string>>&
   marks() const {
     return marks_;
+  }
+  [[nodiscard]] const std::vector<TypedMark>& typed_marks() const {
+    return typed_marks_;
   }
 
   [[nodiscard]] const StepSeries& busy(int node, int apprank) const;
@@ -63,6 +90,7 @@ class Recorder {
   std::vector<StepSeries> owned_;
   std::vector<StepSeries> node_busy_;
   std::vector<std::pair<sim::SimTime, std::string>> marks_;
+  std::vector<TypedMark> typed_marks_;
   std::uint64_t tasks_total_ = 0;
   std::uint64_t tasks_off_ = 0;
   double work_total_ = 0.0;
@@ -84,7 +112,8 @@ std::string to_csv(
     sim::SimTime t0, sim::SimTime t1, int bins);
 
 /// One-line marker row aligned with an ascii_timeline of the same [t0, t1)
-/// window: '^' at each bin containing a mark, ' ' elsewhere.
+/// window: '^' at each bin containing one mark, the count digit '2'..'9'
+/// when a bin holds several, '#' for ten or more, ' ' elsewhere.
 std::string ascii_marks(
     const std::vector<std::pair<sim::SimTime, std::string>>& marks,
     sim::SimTime t0, sim::SimTime t1, int bins);
