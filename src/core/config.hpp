@@ -10,6 +10,7 @@
 #include "sched/config.hpp"
 #include "sim/cluster_spec.hpp"
 #include "sim/time.hpp"
+#include "svc/config.hpp"
 
 namespace tlb::core {
 
@@ -73,6 +74,12 @@ struct RuntimeConfig {
   /// pure recording and keeps schedules bit-identical (the metrics
   /// registry is always on — it has no toggle to get wrong).
   obs::ObsConfig obs;
+
+  /// Service-style traffic scenario (tlb::svc). Inert by default and never
+  /// read by ClusterRuntime itself — an enabled config is consumed by
+  /// svc::JobManager, which launches one ClusterRuntime per arriving job
+  /// (with svc reset to disabled in the per-job configs).
+  svc::SvcConfig svc;
 
   std::uint64_t seed = 42;       ///< expander generation seed
   bool record_traces = true;     ///< keep busy/owned series for figures

@@ -43,8 +43,11 @@ void force_plan(dlb::NodeCores& cores,
 
 }  // namespace
 
-ClusterRuntime::ClusterRuntime(RuntimeConfig config)
-    : config_(std::move(config)) {
+ClusterRuntime::ClusterRuntime(RuntimeConfig config, sim::Engine* shared_engine)
+    : config_(std::move(config)),
+      owned_engine_(shared_engine == nullptr ? std::make_unique<sim::Engine>()
+                                             : nullptr),
+      engine_(shared_engine != nullptr ? *shared_engine : *owned_engine_) {
   graph::ExpanderParams params;
   params.nodes = config_.cluster.node_count();
   params.appranks_per_node = config_.appranks_per_node;
@@ -197,8 +200,9 @@ obs::PopReport ClusterRuntime::pop() const {
   }
   double total_cores = 0.0;
   for (const auto& n : config_.cluster.nodes) total_cores += n.cores;
-  const double elapsed =
-      result_.makespan > 0.0 ? result_.makespan : engine_.now();
+  const double elapsed = result_.makespan > 0.0
+                             ? result_.makespan
+                             : engine_.now() - start_time_;
   const double transfer_wait =
       span_collector_ != nullptr
           ? span_collector_->transfer_wait_core_seconds()
@@ -208,7 +212,22 @@ obs::PopReport ClusterRuntime::pop() const {
 }
 
 RunResult ClusterRuntime::run(Workload& workload) {
+  start(workload);
+  engine_.run();
+  return finalize();
+}
+
+void ClusterRuntime::start(Workload& workload,
+                           std::function<void()> on_complete) {
   workload_ = &workload;
+  on_complete_ = std::move(on_complete);
+  start_time_ = engine_.now();
+  last_barrier_time_ = engine_.now();
+  window_start_time_ = engine_.now();
+  if (config_.obs.pop_windows) {
+    window_busy_.assign(static_cast<std::size_t>(topology_->worker_count()),
+                        0.0);
+  }
   workload.reseed(sim::Rng(config_.seed).fork(kSeedWorkload).next_u64());
 
   // Initial ownership: one core per helper, the rest split among the
@@ -233,8 +252,9 @@ RunResult ClusterRuntime::run(Workload& workload) {
   if (config_.drom_active()) schedule_policy_tick();
   if (resil_active()) start_heartbeats();
   start_iteration_all();
-  engine_.run();
+}
 
+RunResult ClusterRuntime::finalize() {
   // Collect statistics. Runtime-event counters were incremented into the
   // registry live; RunResult is the stable compatibility view over it.
   result_.control_messages = m_.control_messages->value();
@@ -390,6 +410,7 @@ void ClusterRuntime::on_barrier_done() {
   result_.iteration_times.push_back(engine_.now() - last_barrier_time_);
   m_.iteration_time->add(engine_.now() - last_barrier_time_);
   last_barrier_time_ = engine_.now();
+  if (config_.obs.pop_windows) capture_pop_window(iteration);
 
   std::vector<double> apprank_times(
       static_cast<std::size_t>(topology_->apprank_count()));
@@ -405,10 +426,47 @@ void ClusterRuntime::on_barrier_done() {
     start_iteration_all();
   } else {
     done_ = true;
-    result_.makespan = engine_.now();
+    result_.makespan = engine_.now() - start_time_;
     engine_.cancel(policy_event_);
     policy_event_ = sim::kInvalidEvent;
+    if (on_complete_) on_complete_();
   }
+}
+
+void ClusterRuntime::capture_pop_window(int epoch) {
+  const sim::SimTime end = engine_.now();
+  const int workers = topology_->worker_count();
+  std::vector<obs::PopWorkerInput> inputs;
+  inputs.reserve(static_cast<std::size_t>(workers));
+  std::vector<double> busy_now(static_cast<std::size_t>(workers), 0.0);
+  for (int w = 0; w < workers; ++w) {
+    busy_now[static_cast<std::size_t>(w)] = talp_->busy_core_seconds(w);
+    // Workers added mid-run (expander rewire) have no snapshot yet: their
+    // whole busy total belongs to this window.
+    const double prev = static_cast<std::size_t>(w) < window_busy_.size()
+                            ? window_busy_[static_cast<std::size_t>(w)]
+                            : 0.0;
+    obs::PopWorkerInput in;
+    in.worker = w;
+    in.apprank = topology_->worker(w).apprank;
+    in.busy_core_seconds = busy_now[static_cast<std::size_t>(w)] - prev;
+    inputs.push_back(in);
+  }
+  double total_cores = 0.0;
+  for (const auto& n : config_.cluster.nodes) total_cores += n.cores;
+  const obs::PopReport r =
+      obs::pop_report(inputs, topology_->apprank_count(), total_cores,
+                      end - window_start_time_, 0.0);
+  obs::PopWindowRow row;
+  row.epoch = epoch;
+  row.t_begin = window_start_time_;
+  row.t_end = end;
+  row.parallel_efficiency = r.parallel_efficiency;
+  row.load_balance = r.load_balance;
+  row.communication_efficiency = r.communication_efficiency;
+  pop_windows_.push_back(row);
+  window_busy_ = std::move(busy_now);
+  window_start_time_ = end;
 }
 
 // --- Scheduling (§5.5) --------------------------------------------------------

@@ -34,6 +34,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -77,10 +78,33 @@ namespace tlb::core {
 /// detail of the runtime.
 class ClusterRuntime : private sched::RuntimeView {
  public:
-  explicit ClusterRuntime(RuntimeConfig config);
+  /// Standalone construction: the runtime owns its simulation engine and
+  /// run() drives it to completion. With `shared_engine` non-null the
+  /// runtime instead schedules onto that engine — the basis of the
+  /// multi-tenant service scenario (tlb::svc), where many runtimes (one
+  /// per arriving job) interleave their events on one clock. In shared
+  /// mode use start()/finalize() and keep the runtime alive until the
+  /// shared engine has drained: deferred events (solver-latency plan
+  /// applications, retransmit timers) may still reference it after the
+  /// completion callback fires.
+  explicit ClusterRuntime(RuntimeConfig config,
+                          sim::Engine* shared_engine = nullptr);
 
   /// Executes the workload to completion and returns the run statistics.
+  /// Equivalent to start(workload) + engine run + finalize().
   RunResult run(Workload& workload);
+
+  /// Seeds the initial iteration (plus policy / heartbeat ticks) onto the
+  /// engine and returns without running it. `on_complete` fires when the
+  /// last iteration's barrier closes (after makespan is recorded). The
+  /// engine's owner — run() in standalone mode, the tlb::svc job manager
+  /// in shared mode — is responsible for driving events.
+  void start(Workload& workload, std::function<void()> on_complete = {});
+
+  /// Collects the run statistics after completion (makespan, offloading /
+  /// DLB / resilience counters, metrics-registry snapshot). Call once,
+  /// after on_complete fired (shared mode) or the engine drained.
+  RunResult finalize();
 
   // Post-run inspection.
   [[nodiscard]] const trace::Recorder& recorder() const { return *recorder_; }
@@ -124,6 +148,14 @@ class ClusterRuntime : private sched::RuntimeView {
   /// transfer-efficiency factor uses the span collector's transfer-wait
   /// integral (0 when span collection was off).
   [[nodiscard]] obs::PopReport pop() const;
+
+  /// Per-iteration POP windows (RuntimeConfig::obs.pop_windows): one
+  /// PE/LB/CommE row per barrier epoch, computed from the TALP busy
+  /// deltas between consecutive global barriers. Empty when the flag was
+  /// off. Record-only — capturing windows never perturbs the schedule.
+  [[nodiscard]] const std::vector<obs::PopWindowRow>& pop_windows() const {
+    return pop_windows_;
+  }
 
   /// The contention-aware fabric (RuntimeConfig::net.enabled), or nullptr
   /// when the analytic cost model is active. Remains readable after run()
@@ -358,7 +390,11 @@ class ClusterRuntime : private sched::RuntimeView {
   void record_ownership();
 
   RuntimeConfig config_;
-  sim::Engine engine_;
+  /// Owned in standalone mode, null when a shared engine was passed;
+  /// engine_ aliases whichever is active (declared in this order so the
+  /// reference can bind in the member-initializer list).
+  std::unique_ptr<sim::Engine> owned_engine_;
+  sim::Engine& engine_;
   graph::ExpanderResult expander_;
   std::unique_ptr<Topology> topology_;
   std::unique_ptr<vmpi::Communicator> app_comm_;  ///< appranks only
@@ -419,6 +455,17 @@ class ClusterRuntime : private sched::RuntimeView {
   sim::SimTime last_barrier_time_ = 0.0;
   bool done_ = false;
   sim::EventId policy_event_ = sim::kInvalidEvent;
+  /// Engine time at start(); 0 in standalone mode. Makespan and the POP
+  /// elapsed time are measured relative to it so a runtime started
+  /// mid-simulation (shared engine) reports its own execution time.
+  sim::SimTime start_time_ = 0.0;
+  std::function<void()> on_complete_;  ///< fires once, at the last barrier
+
+  // Per-iteration POP windows (config_.obs.pop_windows).
+  void capture_pop_window(int epoch);
+  std::vector<obs::PopWindowRow> pop_windows_;
+  std::vector<double> window_busy_;  ///< TALP busy snapshot at last barrier
+  sim::SimTime window_start_time_ = 0.0;
 
   // Fault state (tlb::fault).
   std::vector<double> node_speed_;  ///< current speed factor per node

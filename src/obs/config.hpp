@@ -10,6 +10,12 @@ struct ObsConfig {
   /// so enabling it keeps schedules bit-identical, but it costs memory
   /// proportional to the task count.
   bool spans = false;
+
+  /// Capture a per-iteration POP window at every global barrier: the TALP
+  /// busy-core deltas since the previous barrier become one PE/LB/CommE
+  /// row keyed by barrier epoch (ClusterRuntime::pop_windows()). Pure
+  /// recording like spans — off by default, bit-identical when on.
+  bool pop_windows = false;
 };
 
 }  // namespace tlb::obs

@@ -1,0 +1,141 @@
+#include "svc/arrivals.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace tlb::svc {
+
+namespace {
+// Child-stream tags under the subsystem seed (see core/runtime.cpp for
+// the core tags; these only need to be distinct from each other).
+constexpr std::uint64_t kSeedArrivals = 0x5E21;
+constexpr std::uint64_t kSeedJobs = 0x5E22;
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+}  // namespace
+
+ArrivalGenerator::ArrivalGenerator(ArrivalConfig config,
+                                   std::vector<double> template_weights,
+                                   std::uint64_t seed)
+    : config_(config),
+      rng_(sim::Rng(seed).fork(kSeedArrivals)),
+      seed_rng_(sim::Rng(seed).fork(kSeedJobs)) {
+  if (template_weights.empty()) {
+    throw std::invalid_argument("ArrivalGenerator: no job templates");
+  }
+  if (config_.rate <= 0.0) {
+    throw std::invalid_argument("ArrivalGenerator: rate must be positive");
+  }
+  if (config_.diurnal_amplitude < 0.0 || config_.diurnal_amplitude >= 1.0) {
+    throw std::invalid_argument(
+        "ArrivalGenerator: diurnal_amplitude must be in [0, 1)");
+  }
+  double total = 0.0;
+  for (double w : template_weights) {
+    if (w < 0.0) {
+      throw std::invalid_argument(
+          "ArrivalGenerator: negative template weight");
+    }
+    total += w;
+    cumulative_weight_.push_back(total);
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument(
+        "ArrivalGenerator: template weights sum to zero");
+  }
+  if (config_.shape == ArrivalShape::Bursty) {
+    if (config_.burst_fraction <= 0.0 || config_.burst_fraction >= 1.0) {
+      throw std::invalid_argument(
+          "ArrivalGenerator: burst_fraction must be in (0, 1)");
+    }
+    // Start in the normal state; first toggle after one normal dwell.
+    switch_at_ = rng_.exponential(
+        config_.burst_dwell * (1.0 - config_.burst_fraction) /
+        config_.burst_fraction);
+  }
+}
+
+double ArrivalGenerator::burst_rate_high() const {
+  return config_.rate * config_.burst_factor;
+}
+
+double ArrivalGenerator::burst_rate_low() const {
+  // Chosen so fraction * high + (1 - fraction) * low == rate; clamped when
+  // burst_factor * burst_fraction >= 1 would push it negative (the mean
+  // then exceeds the nominal rate — the knobs over-ask, not a crash).
+  const double f = config_.burst_fraction;
+  const double low =
+      config_.rate * (1.0 - f * config_.burst_factor) / (1.0 - f);
+  return low > 1e-3 * config_.rate ? low : 1e-3 * config_.rate;
+}
+
+void ArrivalGenerator::advance() {
+  switch (config_.shape) {
+    case ArrivalShape::Poisson:
+      now_ += rng_.exponential(1.0 / config_.rate);
+      return;
+    case ArrivalShape::Bursty: {
+      // Step the two-state MMPP: draw a gap at the current state's rate;
+      // a gap crossing the next toggle instead moves time to the toggle,
+      // flips the state, and redraws (memorylessness makes this exact).
+      for (;;) {
+        const double rate = in_burst_ ? burst_rate_high() : burst_rate_low();
+        const double gap = rng_.exponential(1.0 / rate);
+        if (now_ + gap <= switch_at_) {
+          now_ += gap;
+          return;
+        }
+        now_ = switch_at_;
+        in_burst_ = !in_burst_;
+        const double dwell =
+            in_burst_ ? config_.burst_dwell
+                      : config_.burst_dwell * (1.0 - config_.burst_fraction) /
+                            config_.burst_fraction;
+        switch_at_ = now_ + rng_.exponential(dwell);
+      }
+    }
+    case ArrivalShape::Diurnal: {
+      // Thinning: candidates at the peak rate, accepted with probability
+      // lambda(t) / lambda_max.
+      const double lambda_max =
+          config_.rate * (1.0 + config_.diurnal_amplitude);
+      for (;;) {
+        now_ += rng_.exponential(1.0 / lambda_max);
+        const double lambda =
+            config_.rate *
+            (1.0 + config_.diurnal_amplitude *
+                       std::sin(kTwoPi * now_ / config_.diurnal_period));
+        if (rng_.uniform(0.0, 1.0) * lambda_max <= lambda) return;
+      }
+    }
+  }
+}
+
+std::optional<Arrival> ArrivalGenerator::next() {
+  if (config_.max_arrivals > 0 && emitted_ >= config_.max_arrivals) {
+    return std::nullopt;
+  }
+  advance();
+  if (now_ > config_.horizon) return std::nullopt;
+
+  Arrival a;
+  a.time = now_;
+  const double pick = rng_.uniform(0.0, cumulative_weight_.back());
+  a.template_index = 0;
+  while (a.template_index + 1 < static_cast<int>(cumulative_weight_.size()) &&
+         pick >= cumulative_weight_[static_cast<std::size_t>(
+                     a.template_index)]) {
+    ++a.template_index;
+  }
+  a.job_seed = seed_rng_.next_u64();
+  ++emitted_;
+  return a;
+}
+
+std::vector<Arrival> ArrivalGenerator::all() {
+  std::vector<Arrival> out;
+  while (auto a = next()) out.push_back(*a);
+  return out;
+}
+
+}  // namespace tlb::svc

@@ -1,0 +1,322 @@
+#include "svc/job_manager.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "apps/synthetic.hpp"
+
+namespace tlb::svc {
+
+namespace {
+
+// Shared latency-style bucket edges (seconds) for the SLO histograms.
+std::vector<double> latency_bounds() {
+  return {0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0};
+}
+
+/// Exact order-statistics quantile over a sorted sample (linear
+/// interpolation between adjacent ranks, the common "type 7" definition).
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double mean_of(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+}  // namespace
+
+JobManager::JobManager(core::RuntimeConfig base)
+    : base_(std::move(base)), svc_(base_.svc), admission_(svc_.admission) {
+  if (!svc_.enabled) {
+    throw std::invalid_argument("JobManager: RuntimeConfig::svc is disabled");
+  }
+  if (svc_.templates.empty()) {
+    throw std::invalid_argument("JobManager: no job templates configured");
+  }
+  const int cluster_nodes = base_.cluster.node_count();
+  if (cluster_nodes < 1) {
+    throw std::invalid_argument("JobManager: empty cluster");
+  }
+  for (const JobTemplate& tpl : svc_.templates) {
+    if (tpl.nodes < 1 || tpl.nodes > cluster_nodes) {
+      throw std::invalid_argument(
+          "JobManager: template \"" + tpl.name + "\" wants " +
+          std::to_string(tpl.nodes) + " nodes on a " +
+          std::to_string(cluster_nodes) + "-node cluster");
+    }
+    if (tpl.appranks_per_node < 1 || tpl.degree < 1 || tpl.iterations < 1 ||
+        tpl.tasks_per_rank < 1 || tpl.base_duration <= 0.0 ||
+        tpl.imbalance < 1.0 || tpl.deadline <= 0.0 || tpl.deadline_class < 0) {
+      throw std::invalid_argument("JobManager: template \"" + tpl.name +
+                                  "\" has out-of-range parameters");
+    }
+  }
+  if (svc_.fabric_pressure < 0.0) {
+    throw std::invalid_argument("JobManager: negative fabric_pressure");
+  }
+
+  free_nodes_.resize(static_cast<std::size_t>(cluster_nodes));
+  for (int n = 0; n < cluster_nodes; ++n) {
+    free_nodes_[static_cast<std::size_t>(n)] = n;
+  }
+
+  m_.arrived = &metrics_.counter("svc.jobs_arrived");
+  m_.admitted = &metrics_.counter("svc.jobs_admitted");
+  m_.completed = &metrics_.counter("svc.jobs_completed");
+  m_.shed = &metrics_.counter("svc.jobs_shed");
+  m_.shed_bucket = &metrics_.counter("svc.shed_bucket");
+  m_.shed_limit = &metrics_.counter("svc.shed_limit");
+  m_.retries = &metrics_.counter("svc.retries");
+  m_.slo_met = &metrics_.counter("svc.slo_met");
+  m_.latency = &metrics_.histogram("svc.latency", latency_bounds());
+  m_.queue_wait = &metrics_.histogram("svc.queue_wait", latency_bounds());
+  m_.service = &metrics_.histogram("svc.service", latency_bounds());
+}
+
+SvcResult JobManager::run() {
+  if (ran_) {
+    throw std::logic_error("JobManager::run is one-shot");
+  }
+  ran_ = true;
+
+  std::vector<double> weights;
+  weights.reserve(svc_.templates.size());
+  for (const JobTemplate& tpl : svc_.templates) weights.push_back(tpl.weight);
+  ArrivalGenerator gen(svc_.arrivals, weights, base_.seed);
+
+  // The whole arrival sequence is fixed up front (it is independent of
+  // execution by construction), so the offered traffic is identical across
+  // admission settings under one seed.
+  const std::vector<Arrival> arrivals = gen.all();
+  records_.reserve(arrivals.size());
+  for (const Arrival& a : arrivals) {
+    JobRecord rec;
+    rec.id = static_cast<int>(records_.size());
+    rec.template_index = a.template_index;
+    const JobTemplate& tpl =
+        svc_.templates[static_cast<std::size_t>(a.template_index)];
+    rec.deadline_class = tpl.deadline_class;
+    rec.deadline = tpl.deadline;
+    rec.arrival = a.time;
+    rec.job_seed = a.job_seed;
+    records_.push_back(rec);
+    engine_.at(a.time, [this, a, id = rec.id] { on_arrival(a, id, false); });
+  }
+  engine_.run();
+
+  SvcResult res;
+  res.arrived = m_.arrived->value();
+  res.admitted = m_.admitted->value();
+  res.completed = m_.completed->value();
+  res.shed = m_.shed->value();
+  res.retries = m_.retries->value();
+  res.slo_met = m_.slo_met->value();
+  res.elapsed = engine_.now();
+  res.horizon = svc_.arrivals.horizon;
+  res.goodput = res.horizon > 0.0
+                    ? static_cast<double>(res.slo_met) / res.horizon
+                    : 0.0;
+  res.shed_rate = res.arrived > 0
+                      ? static_cast<double>(res.shed) /
+                            static_cast<double>(res.arrived)
+                      : 0.0;
+  res.final_limit = admission_.limiter().limit();
+  res.engine_events = engine_.events_fired();
+
+  std::vector<double> latencies;
+  std::vector<double> waits;
+  std::vector<double> services;
+  int max_class = 0;
+  for (const JobRecord& rec : records_) {
+    max_class = std::max(max_class, rec.deadline_class);
+  }
+  res.classes.resize(static_cast<std::size_t>(max_class) + 1);
+  for (std::size_t c = 0; c < res.classes.size(); ++c) {
+    res.classes[c].deadline_class = static_cast<int>(c);
+  }
+  for (const JobRecord& rec : records_) {
+    SvcClassRow& row =
+        res.classes[static_cast<std::size_t>(rec.deadline_class)];
+    ++row.arrived;
+    if (rec.outcome == JobOutcome::Completed) {
+      ++row.completed;
+      if (rec.slo_met) ++row.slo_met;
+      latencies.push_back(rec.latency());
+      waits.push_back(rec.queue_wait());
+      services.push_back(rec.service());
+    } else if (rec.outcome != JobOutcome::Pending) {
+      ++row.shed;
+    }
+  }
+  std::sort(latencies.begin(), latencies.end());
+  std::sort(waits.begin(), waits.end());
+  res.latency_p50 = percentile(latencies, 0.50);
+  res.latency_p99 = percentile(latencies, 0.99);
+  res.latency_mean = mean_of(latencies);
+  res.queue_wait_p50 = percentile(waits, 0.50);
+  res.queue_wait_p99 = percentile(waits, 0.99);
+  res.service_mean = mean_of(services);
+
+  metrics_.gauge("svc.goodput").set(res.goodput);
+  metrics_.gauge("svc.shed_rate").set(res.shed_rate);
+  metrics_.gauge("svc.latency_p50").set(res.latency_p50);
+  metrics_.gauge("svc.latency_p99").set(res.latency_p99);
+  metrics_.gauge("svc.queue_wait_p99").set(res.queue_wait_p99);
+  metrics_.gauge("svc.final_limit").set(res.final_limit);
+  metrics_.gauge("svc.elapsed").set(res.elapsed);
+  return res;
+}
+
+void JobManager::on_arrival(const Arrival& arrival, int record_id,
+                            bool is_retry) {
+  if (is_retry) {
+    admission_.retry_budget().settle();
+  } else {
+    m_.arrived->inc();
+  }
+  const JobRecord& rec = records_[static_cast<std::size_t>(record_id)];
+  const AdmitVerdict verdict =
+      svc_.admission.enabled
+          ? admission_.decide(rec.deadline_class, in_flight(), engine_.now())
+          : AdmitVerdict::Admit;
+  if (verdict == AdmitVerdict::Admit) {
+    m_.admitted->inc();
+    pending_.push_back(record_id);
+    try_dispatch();
+    return;
+  }
+  reject(arrival, record_id, verdict);
+}
+
+void JobManager::reject(const Arrival& arrival, int record_id,
+                        AdmitVerdict verdict) {
+  JobRecord& rec = records_[static_cast<std::size_t>(record_id)];
+  const AdmissionConfig& adm = svc_.admission;
+  if (rec.retries < adm.retry_max &&
+      admission_.retry_budget().try_start(in_flight())) {
+    ++rec.retries;
+    m_.retries->inc();
+    const double delay =
+        adm.retry_backoff * std::pow(2.0, static_cast<double>(rec.retries - 1));
+    engine_.after(delay,
+                  [this, arrival, record_id] {
+                    on_arrival(arrival, record_id, /*is_retry=*/true);
+                  });
+    return;
+  }
+  rec.outcome = verdict == AdmitVerdict::ShedBucket ? JobOutcome::ShedBucket
+                                                    : JobOutcome::ShedLimit;
+  m_.shed->inc();
+  (verdict == AdmitVerdict::ShedBucket ? m_.shed_bucket : m_.shed_limit)
+      ->inc();
+}
+
+void JobManager::try_dispatch() {
+  // Strict FCFS: the queue head blocks until its partition fits. Simple,
+  // deterministic, and starvation-free (no backfilling that could let
+  // small jobs overtake a large one forever).
+  while (!pending_.empty()) {
+    const int id = pending_.front();
+    const JobRecord& rec = records_[static_cast<std::size_t>(id)];
+    const JobTemplate& tpl =
+        svc_.templates[static_cast<std::size_t>(rec.template_index)];
+    if (static_cast<std::size_t>(tpl.nodes) > free_nodes_.size()) return;
+    pending_.pop_front();
+    launch(id);
+  }
+}
+
+void JobManager::launch(int record_id) {
+  JobRecord& rec = records_[static_cast<std::size_t>(record_id)];
+  const JobTemplate& tpl =
+      svc_.templates[static_cast<std::size_t>(rec.template_index)];
+
+  // Lowest free indices first — keeps allocation order deterministic.
+  std::vector<int> nodes(free_nodes_.begin(),
+                         free_nodes_.begin() + tpl.nodes);
+  free_nodes_.erase(free_nodes_.begin(), free_nodes_.begin() + tpl.nodes);
+
+  rec.started = engine_.now();
+  ++running_;
+
+  auto job = std::make_unique<LaunchedJob>();
+  job->record = record_id;
+  job->nodes = nodes;
+
+  apps::SyntheticConfig scfg;
+  scfg.appranks = tpl.nodes * tpl.appranks_per_node;
+  scfg.iterations = tpl.iterations;
+  scfg.tasks_per_rank = tpl.tasks_per_rank;
+  scfg.base_duration = tpl.base_duration;
+  scfg.imbalance = tpl.imbalance;
+  scfg.bytes_per_task = tpl.bytes_per_task;
+  job->workload = std::make_unique<apps::SyntheticWorkload>(scfg);
+
+  job->runtime = std::make_unique<core::ClusterRuntime>(
+      job_config(tpl, nodes, rec.job_seed), &engine_);
+  const std::size_t index = launched_.size();
+  job->runtime->start(*job->workload, [this, index] { on_job_done(index); });
+  launched_.push_back(std::move(job));
+}
+
+void JobManager::on_job_done(std::size_t launched_index) {
+  LaunchedJob& job = *launched_[launched_index];
+  job.done = true;
+  job.runtime->finalize();
+
+  JobRecord& rec = records_[static_cast<std::size_t>(job.record)];
+  rec.finished = engine_.now();
+  rec.outcome = JobOutcome::Completed;
+  rec.slo_met = rec.latency() <= rec.deadline;
+
+  m_.completed->inc();
+  if (rec.slo_met) m_.slo_met->inc();
+  m_.latency->add(rec.latency());
+  m_.queue_wait->add(rec.queue_wait());
+  m_.service->add(rec.service());
+  if (svc_.admission.enabled) {
+    admission_.on_job_latency(rec.latency());
+  }
+
+  free_nodes_.insert(free_nodes_.end(), job.nodes.begin(), job.nodes.end());
+  std::sort(free_nodes_.begin(), free_nodes_.end());
+  --running_;
+  try_dispatch();
+}
+
+core::RuntimeConfig JobManager::job_config(const JobTemplate& tpl,
+                                           const std::vector<int>& nodes,
+                                           std::uint64_t job_seed) const {
+  core::RuntimeConfig cfg = base_;
+  cfg.cluster.nodes.clear();
+  for (int n : nodes) {
+    cfg.cluster.nodes.push_back(
+        base_.cluster.nodes[static_cast<std::size_t>(n)]);
+  }
+  if (svc_.fabric_pressure > 0.0 && running_ > 1) {
+    // Static cross-tenant derating: the partition's share of the backbone
+    // shrinks with the number of co-running neighbours at launch.
+    cfg.cluster.link.bandwidth /=
+        1.0 + svc_.fabric_pressure * static_cast<double>(running_ - 1);
+  }
+  cfg.appranks_per_node = tpl.appranks_per_node;
+  cfg.degree = std::min(tpl.degree, tpl.nodes);
+  cfg.seed = job_seed;
+  cfg.record_traces = false;
+  cfg.svc = SvcConfig{};  // jobs are batch instances, never nested services
+  return cfg;
+}
+
+}  // namespace tlb::svc

@@ -1,0 +1,169 @@
+// Multi-tenant job manager (tlb::svc).
+//
+// Runs the service scenario: jobs arrive from an ArrivalGenerator, pass
+// the admission controller, queue for a free node partition, and execute
+// as full-fidelity ClusterRuntime instances (one per job) multiplexed on
+// one shared sim::Engine — job events interleave in simulated time, so a
+// long-running batch instance and a burst of interactive ones genuinely
+// contend for the cluster. Partitions are node-exclusive (FCFS over a
+// free-node list); cross-tenant pressure shows up as queueing delay and,
+// optionally, as the fabric_pressure bandwidth derating.
+//
+// Measured per job: queue wait, service time, arrival-to-completion
+// latency, SLO verdict (latency <= the template's deadline). Aggregated:
+// p50/p99 latency, goodput (SLO-met jobs per second of horizon), shed
+// rate — all mirrored into an obs::Registry for serialization.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "obs/metrics.hpp"
+#include "svc/admission.hpp"
+#include "svc/arrivals.hpp"
+
+namespace tlb::svc {
+
+/// Terminal state of one arrival.
+enum class JobOutcome {
+  Pending,     ///< not yet decided (only before run() completes)
+  Completed,   ///< ran to completion
+  ShedBucket,  ///< rejected: token bucket empty, retries exhausted
+  ShedLimit,   ///< rejected: concurrency limit, retries exhausted
+};
+
+struct JobRecord {
+  int id = -1;
+  int template_index = 0;
+  int deadline_class = 0;
+  double deadline = 0.0;
+  std::uint64_t job_seed = 0;  ///< drives the instance's workload draws
+  double arrival = 0.0;   ///< first arrival (retries do not reset it)
+  double started = -1.0;  ///< partition allocated, runtime launched
+  double finished = -1.0;
+  int retries = 0;
+  JobOutcome outcome = JobOutcome::Pending;
+  bool slo_met = false;
+
+  [[nodiscard]] double queue_wait() const {
+    return started >= 0.0 ? started - arrival : -1.0;
+  }
+  [[nodiscard]] double service() const {
+    return finished >= 0.0 ? finished - started : -1.0;
+  }
+  [[nodiscard]] double latency() const {
+    return finished >= 0.0 ? finished - arrival : -1.0;
+  }
+};
+
+/// Per-deadline-class aggregate.
+struct SvcClassRow {
+  int deadline_class = 0;
+  std::uint64_t arrived = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t slo_met = 0;
+};
+
+struct SvcResult {
+  std::uint64_t arrived = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t slo_met = 0;
+
+  double elapsed = 0.0;        ///< simulated end time (queue fully drained)
+  double horizon = 0.0;        ///< arrival horizon (goodput denominator)
+  double goodput = 0.0;        ///< SLO-met jobs per second of horizon
+  double shed_rate = 0.0;      ///< shed / arrived
+  double latency_p50 = 0.0;    ///< completed jobs, exact order statistics
+  double latency_p99 = 0.0;
+  double latency_mean = 0.0;
+  double queue_wait_p50 = 0.0;
+  double queue_wait_p99 = 0.0;
+  double service_mean = 0.0;
+  int final_limit = 0;         ///< gradient limiter's limit at the end
+  std::uint64_t engine_events = 0;
+  std::vector<SvcClassRow> classes;
+};
+
+class JobManager {
+ public:
+  /// `base` supplies the shared cluster (base.cluster), the root seed, and
+  /// base.svc (which must be enabled with at least one template). Per-job
+  /// runtime configs inherit the remaining knobs (policy, lewi/drom,
+  /// sched, net, periods) with the partition's nodes substituted.
+  explicit JobManager(core::RuntimeConfig base);
+
+  /// Runs the scenario to completion: all arrivals decided, every admitted
+  /// job finished, the queue drained. One-shot, like ClusterRuntime::run.
+  SvcResult run();
+
+  // Post-run inspection.
+  [[nodiscard]] const std::vector<JobRecord>& jobs() const { return records_; }
+  [[nodiscard]] const obs::Registry& metrics() const { return metrics_; }
+  [[nodiscard]] const AdmissionController& admission() const {
+    return admission_;
+  }
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+
+ private:
+  /// One launched job: the runtime (and its workload) stay alive until the
+  /// manager is destroyed — deferred events on the shared engine may still
+  /// reference a completed runtime (see ClusterRuntime shared-mode docs).
+  struct LaunchedJob {
+    int record = -1;
+    std::vector<int> nodes;  ///< partition (indices into base cluster)
+    std::unique_ptr<core::Workload> workload;
+    std::unique_ptr<core::ClusterRuntime> runtime;
+    bool done = false;
+  };
+
+  void on_arrival(const Arrival& arrival, int record_id, bool is_retry);
+  /// Shed-or-retry on a non-admit verdict; updates the record's outcome.
+  void reject(const Arrival& arrival, int record_id, AdmitVerdict verdict);
+  void try_dispatch();
+  void launch(int record_id);
+  void on_job_done(std::size_t launched_index);
+  [[nodiscard]] int in_flight() const {
+    return running_ + static_cast<int>(pending_.size());
+  }
+  [[nodiscard]] core::RuntimeConfig job_config(const JobTemplate& tpl,
+                                               const std::vector<int>& nodes,
+                                               std::uint64_t job_seed) const;
+
+  core::RuntimeConfig base_;
+  SvcConfig svc_;
+  sim::Engine engine_;
+  AdmissionController admission_;
+  obs::Registry metrics_;
+
+  bool ran_ = false;             ///< run() is one-shot
+  std::vector<int> free_nodes_;  ///< ascending; lowest indices first
+  /// Admitted, waiting for a partition (record ids, FCFS).
+  std::deque<int> pending_;
+  int running_ = 0;
+  std::vector<JobRecord> records_;
+  std::vector<std::unique_ptr<LaunchedJob>> launched_;
+
+  struct MetricRefs {
+    obs::Counter* arrived = nullptr;
+    obs::Counter* admitted = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* shed = nullptr;
+    obs::Counter* shed_bucket = nullptr;
+    obs::Counter* shed_limit = nullptr;
+    obs::Counter* retries = nullptr;
+    obs::Counter* slo_met = nullptr;
+    obs::Histogram* latency = nullptr;
+    obs::Histogram* queue_wait = nullptr;
+    obs::Histogram* service = nullptr;
+  } m_;
+};
+
+}  // namespace tlb::svc

@@ -4,10 +4,10 @@
 Used by the ``bench-trend`` CI job: the candidate directory is the current
 run's smoke reports, the base directory is the latest ``bench-reports``
 artifact from main. For every figure present in both, each point is matched
-by (series name, position) and its primary metric — ``makespan`` when
-present, otherwise the first key containing "makespan" — is compared. A
-point whose metric grew by more than the threshold (default 20%) counts as
-a regression.
+by (series name, position) and its tracked metrics are compared. Metrics
+are direction-aware: for ``makespan`` (or the first key containing
+"makespan") and ``latency_p99_s``, growth beyond the threshold (default
+20%) is a regression; for ``goodput``, a *drop* beyond the threshold is.
 
 The job is *fail-soft*: regressions are reported as GitHub ``::warning::``
 annotations (plain lines outside Actions) and the exit code stays 0 unless
@@ -42,13 +42,25 @@ def load_dir(artifact_dir: Path) -> dict[str, dict]:
     return reports
 
 
-def metric_key(point: dict) -> str | None:
+def point_metrics(point: dict) -> list[tuple[str, bool]]:
+    """Tracked metrics of a point as (key, higher_is_worse) pairs.
+
+    Makespan-style keys and the p99 latency tail regress when they grow;
+    goodput regresses when it falls. A point can carry several (the svc
+    figures report both tails and goodput)."""
+    metrics: list[tuple[str, bool]] = []
     if isinstance(point.get("makespan"), (int, float)):
-        return "makespan"
-    for key, value in point.items():
-        if "makespan" in key and isinstance(value, (int, float)):
-            return key
-    return None
+        metrics.append(("makespan", True))
+    else:
+        for key, value in point.items():
+            if "makespan" in key and isinstance(value, (int, float)):
+                metrics.append((key, True))
+                break
+    if isinstance(point.get("latency_p99_s"), (int, float)):
+        metrics.append(("latency_p99_s", True))
+    if isinstance(point.get("goodput"), (int, float)):
+        metrics.append(("goodput", False))
+    return metrics
 
 
 def point_label(point: dict) -> str:
@@ -62,7 +74,9 @@ def point_label(point: dict) -> str:
                                                   "oversubscription",
                                                   "payload_bytes",
                                                   "perturbation",
-                                                  "signed_imbalance")):
+                                                  "signed_imbalance",
+                                                  "load_multiplier",
+                                                  "offered_rate")):
             parts.append(f"{key}={value}")
         if len(parts) == 3:
             break
@@ -89,21 +103,22 @@ def compare(base: dict, cand: dict, threshold: float) -> list[str]:
         for i, point in enumerate(series["points"]):
             if i >= len(base_points):
                 break
-            key = metric_key(point)
-            if key is None or metric_key(base_points[i]) != key:
-                continue
-            old, new = base_points[i][key], point[key]
-            if old <= 0:
-                continue
-            growth = new / old - 1.0
-            if growth > threshold:
+            for key, higher_is_worse in point_metrics(point):
+                base_value = base_points[i].get(key)
+                if not isinstance(base_value, (int, float)) or base_value <= 0:
+                    continue
+                growth = point[key] / base_value - 1.0
+                regressed = (growth > threshold if higher_is_worse
+                             else growth < -threshold)
+                if not regressed:
+                    continue
                 label = point_label(point)
                 where = f"{cand['figure']} [{name}]"
                 if label:
                     where += f" ({label})"
                 regressions.append(
-                    f"{where}: {key} {old:.4g} -> {new:.4g} "
-                    f"(+{100 * growth:.1f}% vs main)")
+                    f"{where}: {key} {base_value:.4g} -> {point[key]:.4g} "
+                    f"({100 * growth:+.1f}% vs main)")
     return regressions
 
 
