@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "core/policies.hpp"
+#include "elastic/config.hpp"
 #include "net/config.hpp"
 #include "obs/config.hpp"
 #include "resil/config.hpp"
@@ -74,6 +75,14 @@ struct RuntimeConfig {
   /// pure recording and keeps schedules bit-identical (the metrics
   /// registry is always on — it has no toggle to get wrong).
   obs::ObsConfig obs;
+
+  /// Elasticity (tlb::elastic). Off by default and the disabled path reads
+  /// nothing — plain runs stay bit-identical to a build without the
+  /// subsystem. When enabled, ClusterRuntime samples its backlog per
+  /// usable core on eval_period ticks and grows / retires helper-only
+  /// nodes; svc::JobManager instead uses the same controller to decide how
+  /// many cluster nodes are powered on (billed in node-seconds).
+  elastic::ElasticConfig elastic;
 
   /// Service-style traffic scenario (tlb::svc). Inert by default and never
   /// read by ClusterRuntime itself — an enabled config is consumed by

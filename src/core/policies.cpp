@@ -128,7 +128,10 @@ OwnershipPlan local_convergence_plan(const Topology& topo,
         residents.push_back(w);
       }
     }
-    assert(!residents.empty() && "node lost every resident worker");
+    // A node with no usable resident (retired by elastic scale-in, or every
+    // helper dead on a helper-only node) gets an empty node plan; DROM
+    // leaves its ownership untouched and the scheduler never picks it.
+    if (residents.empty()) continue;
     std::vector<double> weight;
     weight.reserve(residents.size());
     for (WorkerId w : residents) {
@@ -155,7 +158,7 @@ OwnershipPlan static_ownership_plan(const Topology& topo,
         residents.push_back(w);
       }
     }
-    assert(!residents.empty() && "node lost every resident worker");
+    if (residents.empty()) continue;  // retired / fully-lost node: no plan
     // All-zero weights make proportional_split fall back to an even split.
     const std::vector<double> weight(residents.size(), 0.0);
     const auto counts =

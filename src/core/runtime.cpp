@@ -86,6 +86,8 @@ ClusterRuntime::ClusterRuntime(RuntimeConfig config, sim::Engine* shared_engine)
   node_speed_.reserve(config_.cluster.nodes.size());
   for (const auto& n : config_.cluster.nodes) node_speed_.push_back(n.speed);
   alive_.assign(static_cast<std::size_t>(topology_->worker_count()), 1);
+  retired_.assign(static_cast<std::size_t>(topology_->worker_count()), 0);
+  node_retired_.assign(static_cast<std::size_t>(topology_->node_count()), 0);
   suspected_.assign(static_cast<std::size_t>(topology_->worker_count()), 0);
   last_heartbeat_.assign(static_cast<std::size_t>(topology_->worker_count()),
                          -1.0);
@@ -101,6 +103,9 @@ ClusterRuntime::ClusterRuntime(RuntimeConfig config, sim::Engine* shared_engine)
         topology_->worker_count(), config_.resil);
   }
   policy_level_ = config_.policy == PolicyKind::Global ? 0 : 1;
+  if (config_.elastic.enabled) {
+    elastic_ctrl_ = std::make_unique<elastic::ElasticController>(config_.elastic);
+  }
 
   node_cores_.reserve(static_cast<std::size_t>(topology_->node_count()));
   lewi_.reserve(node_cores_.capacity());
@@ -185,6 +190,8 @@ void ClusterRuntime::register_metrics() {
       &metrics_.counter("resil.quarantine_readmissions");
   m_.policy_downshifts = &metrics_.counter("resil.policy_downshifts");
   m_.rewired_edges = &metrics_.counter("resil.rewired_edges");
+  m_.nodes_joined = &metrics_.counter("elastic.nodes_joined");
+  m_.nodes_retired = &metrics_.counter("elastic.nodes_retired");
   m_.detection_latency_sum = &metrics_.gauge("resil.detection_latency_sum_s");
   m_.perfect_time = &metrics_.gauge("core.perfect_time_s");
   m_.iteration_time = &metrics_.histogram(
@@ -251,6 +258,7 @@ void ClusterRuntime::start(Workload& workload,
 
   if (config_.drom_active()) schedule_policy_tick();
   if (resil_active()) start_heartbeats();
+  if (elastic_ctrl_ != nullptr) schedule_elastic_tick();
   start_iteration_all();
 }
 
@@ -552,9 +560,11 @@ void ClusterRuntime::assign_to_worker(nanos::TaskId id, WorkerId w) {
   ctrl_comm_->send(home, w, kTagOffload, 0,
                    [this, id, w](const vmpi::Message&) {
                      workers_[static_cast<std::size_t>(w)].pending -= 1;
-                     if (!alive_[static_cast<std::size_t>(w)]) {
-                       // The helper crashed while the offload message was
-                       // in flight: the task was never received there.
+                     if (!alive_[static_cast<std::size_t>(w)] ||
+                         retired_[static_cast<std::size_t>(w)]) {
+                       // The helper crashed — or its node was retired by
+                       // elastic scale-in — while the offload message was
+                       // in flight: the task must not land there.
                        rescue_task(id, w);
                        return;
                      }
@@ -944,9 +954,14 @@ void ClusterRuntime::policy_tick() {
   }
   talp_->reset_window();
 
+  // Retired nodes contribute zero capacity: the solver's reduced graph has
+  // no usable edges there, and a zero-core node rounds to an empty plan.
   std::vector<int> node_core_counts;
   node_core_counts.reserve(config_.cluster.nodes.size());
-  for (const auto& n : config_.cluster.nodes) node_core_counts.push_back(n.cores);
+  for (std::size_t n = 0; n < config_.cluster.nodes.size(); ++n) {
+    node_core_counts.push_back(node_retired_[n] ? 0
+                                                : config_.cluster.nodes[n].cores);
+  }
 
   // The mask is only passed once a worker is dead or quarantined, so a
   // fault-free run takes exactly the pre-fault code path.
@@ -1050,7 +1065,7 @@ bool ClusterRuntime::any_worker_dead() const {
 
 bool ClusterRuntime::any_worker_unusable() const {
   for (std::size_t w = 0; w < alive_.size(); ++w) {
-    if (!alive_[w] || suspected_[w]) return true;
+    if (!alive_[w] || suspected_[w] || retired_[w]) return true;
   }
   return false;
 }
@@ -1170,11 +1185,16 @@ void ClusterRuntime::crash_worker(WorkerId w) {
   for (WorkerId r : topology_->workers_on_node(node)) {
     if (alive_[static_cast<std::size_t>(r)]) survivors.push_back(r);
   }
-  assert(!survivors.empty() && "a node always keeps its apprank process");
+  // Nodes with a home apprank always keep it (homes cannot crash); a
+  // helper-only node grown by elastic scale-out can lose its last worker,
+  // in which case its cores keep their dead owner until the node retires
+  // (no survivor may inherit them, and nothing schedules there).
   std::size_t rr = 0;
   for (int c = 0; c < nc.core_count(); ++c) {
     if (nc.owner(c) == w) {
-      nc.set_owner(c, survivors[rr++ % survivors.size()]);
+      if (!survivors.empty()) {
+        nc.set_owner(c, survivors[rr++ % survivors.size()]);
+      }
     } else if (nc.lease(c) == w && !nc.is_running(c)) {
       nc.reclaim(c);
     }
@@ -1230,7 +1250,12 @@ void ClusterRuntime::start_heartbeats() {
 }
 
 void ClusterRuntime::send_heartbeat(WorkerId w) {
-  if (done_ || !alive_[static_cast<std::size_t>(w)]) return;  // fell silent
+  // Crashed workers fell silent; retired workers shut down cleanly (and
+  // detector_sweep skips them, so the silence never reads as a failure).
+  if (done_ || !alive_[static_cast<std::size_t>(w)] ||
+      retired_[static_cast<std::size_t>(w)]) {
+    return;
+  }
   m_.heartbeat_messages->inc();
   const WorkerId home = topology_->home_worker(topology_->worker(w).apprank);
   ctrl_comm_->send(w, home, kTagHeartbeat, 0,
@@ -1252,7 +1277,8 @@ void ClusterRuntime::detector_sweep() {
   const sim::SimTime now = engine_.now();
   for (int w = 0; w < topology_->worker_count(); ++w) {
     if (topology_->worker(w).is_home ||
-        suspected_[static_cast<std::size_t>(w)]) {
+        suspected_[static_cast<std::size_t>(w)] ||
+        retired_[static_cast<std::size_t>(w)]) {
       continue;
     }
     const resil::PhiAccrualDetector& det =
@@ -1526,9 +1552,12 @@ void ClusterRuntime::maybe_rewire(int apprank) {
   // Replacement helper on the node with the most spare worker capacity.
   std::vector<int> spare(static_cast<std::size_t>(topology_->node_count()));
   for (int n = 0; n < topology_->node_count(); ++n) {
+    // Retired nodes must not receive replacement helpers.
     spare[static_cast<std::size_t>(n)] =
-        config_.cluster.nodes[static_cast<std::size_t>(n)].cores -
-        static_cast<int>(topology_->workers_on_node(n).size());
+        node_retired_[static_cast<std::size_t>(n)]
+            ? 0
+            : config_.cluster.nodes[static_cast<std::size_t>(n)].cores -
+                  static_cast<int>(topology_->workers_on_node(n).size());
   }
   const int node = graph::pick_replacement_node(expander_.graph, apprank, spare);
   if (node < 0) {
@@ -1546,6 +1575,7 @@ void ClusterRuntime::maybe_rewire(int apprank) {
   talp_->add_worker();
   workers_.emplace_back();
   alive_.push_back(1);
+  retired_.push_back(0);
   suspected_.push_back(0);
   last_heartbeat_.push_back(-1.0);
   crashed_at_.push_back(-1.0);
@@ -1561,6 +1591,241 @@ void ClusterRuntime::maybe_rewire(int apprank) {
              std::to_string(node));
   // The new worker owns no cores yet; the policy re-solve that follows the
   // crash/suspicion grants it at least one (it is unpickable until then).
+}
+
+// --- elasticity (tlb::elastic) ------------------------------------------------
+
+int ClusterRuntime::grow_node(const sim::NodeSpec& spec, int helpers) {
+  if (done_) throw std::logic_error("grow_node: run already complete");
+  if (workload_ == nullptr) {
+    throw std::logic_error(
+        "grow_node: call start() first (the initial ownership split must "
+        "exist before the cluster can grow)");
+  }
+  if (fabric_ != nullptr) {
+    throw std::logic_error(
+        "grow_node: the contention-aware fabric has a fixed topology; "
+        "elastic growth requires the analytic interconnect model");
+  }
+  if (spec.cores < 1) {
+    throw std::invalid_argument("grow_node: node needs at least one core");
+  }
+
+  // The grow sequence is the rewire path run once per helper: graph edge,
+  // topology slot, control-plane rank, TALP / detector / quarantine state,
+  // per-worker runtime vectors.
+  const int node = expander_.graph.add_right_vertex();
+  const int tnode = topology_->add_node();
+  assert(node == tnode && "graph and topology node ids must stay aligned");
+  (void)tnode;
+  config_.cluster.nodes.push_back(spec);
+  node_speed_.push_back(spec.speed);
+  node_retired_.push_back(0);
+  recorder_->add_node();
+
+  // Helper placement: appranks with the fewest workers first (they gain
+  // the most offload reach), ties by id — deterministic.
+  int count = helpers > 0 ? helpers : topology_->apprank_count();
+  count = std::min(count, std::min(topology_->apprank_count(), spec.cores));
+  std::vector<int> order(static_cast<std::size_t>(topology_->apprank_count()));
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::stable_sort(order.begin(), order.end(), [this](int x, int y) {
+    return expander_.graph.left_degree(x) < expander_.graph.left_degree(y);
+  });
+
+  std::vector<WorkerId> added;
+  for (int i = 0; i < count; ++i) {
+    const int a = order[static_cast<std::size_t>(i)];
+    expander_.graph.add_edge(a, node);
+    const WorkerId w = topology_->add_worker(a, node);
+    const vmpi::RankId rank = ctrl_comm_->add_rank(node);
+    (void)rank;
+    assert(rank == w && "control-plane ranks mirror worker ids");
+    talp_->add_worker();
+    workers_.emplace_back();
+    alive_.push_back(1);
+    retired_.push_back(0);
+    suspected_.push_back(0);
+    last_heartbeat_.push_back(-1.0);
+    crashed_at_.push_back(-1.0);
+    if (!busy_smoothed_.empty()) busy_smoothed_.push_back(0.0);
+    if (resil_active()) {
+      detectors_.emplace_back(config_.resil.phi_window,
+                              config_.resil.phi_min_std);
+      quarantine_->add_worker();
+      engine_.after(config_.resil.heartbeat_period,
+                    [this, w] { send_heartbeat(w); });
+    }
+    added.push_back(w);
+  }
+  assert(!added.empty());
+
+  // DLB modules for the node. All cores start owned by the first helper;
+  // the immediate policy re-solve below redistributes them (exactly like
+  // the initial split would have, had the node existed at start()).
+  node_cores_.push_back(
+      std::make_unique<dlb::NodeCores>(spec.cores, added.front()));
+  lewi_.push_back(
+      std::make_unique<dlb::LewiModule>(*node_cores_.back(), config_.lewi));
+  drom_.push_back(std::make_unique<dlb::DromModule>(*node_cores_.back(),
+                                                    config_.drom_active()));
+  record_ownership();
+  grown_nodes_.push_back(node);
+
+  m_.nodes_joined->inc();
+  mark_trace("elastic: node " + std::to_string(node) + " joined with " +
+             std::to_string(added.size()) + " helpers");
+
+  if (config_.drom_active() && !done_) {
+    engine_.cancel(policy_event_);
+    policy_event_ = sim::kInvalidEvent;
+    policy_tick();
+  }
+  kick_node(node);
+  return node;
+}
+
+void ClusterRuntime::retire_node(int node) {
+  if (node < 0 || node >= topology_->node_count()) {
+    throw std::invalid_argument("retire_node: no such node");
+  }
+  if (node_retired_[static_cast<std::size_t>(node)]) return;  // idempotent
+  const auto residents = topology_->workers_on_node(node);
+  for (WorkerId w : residents) {
+    if (topology_->worker(w).is_home) {
+      throw std::invalid_argument(
+          "retire_node: node " + std::to_string(node) +
+          " hosts an apprank process; only helper-only nodes can retire");
+    }
+  }
+  node_retired_[static_cast<std::size_t>(node)] = 1;
+
+  // Fence first: usable() is now false for every resident, so no new
+  // assignment, LeWI borrow, or pick_worker choice can land here while we
+  // drain.
+  for (WorkerId w : residents) retired_[static_cast<std::size_t>(w)] = 1;
+
+  for (WorkerId w : residents) {
+    if (!alive_[static_cast<std::size_t>(w)]) continue;  // crashed earlier
+    if (resil_active()) {
+      // Revoke the leases of tasks that have not started computing here;
+      // executions already running keep their lease and complete normally
+      // (the worker is alive, merely drained — completions carry the
+      // current epoch and count exactly once). A task requeued here and
+      // raced by a stale copy is covered by the usual zombie suppression.
+      for (const std::uint64_t id : leases_.tasks_on(w)) {
+        bool running = false;
+        for (const auto& [eid, run] : running_) {
+          (void)eid;
+          if (run.task == static_cast<nanos::TaskId>(id) && run.worker == w &&
+              !run.ghost) {
+            running = true;
+            break;
+          }
+        }
+        if (!running) requeue_leased_task(static_cast<nanos::TaskId>(id));
+      }
+    } else {
+      // Oracle mode: queued-but-unstarted assignments are rescued exactly
+      // once; in-flight offload messages are rescued by their delivery
+      // callback (which now sees the retired flag).
+      WorkerState& ws = workers_[static_cast<std::size_t>(w)];
+      std::deque<nanos::TaskId> drained;
+      drained.swap(ws.queue);
+      for (nanos::TaskId id : drained) rescue_task(id, w);
+    }
+  }
+
+  m_.nodes_retired->inc();
+  mark_trace("elastic: node " + std::to_string(node) + " retired");
+
+  // Re-solve over the reduced capacity, then let the survivors pick up the
+  // rescued work.
+  if (config_.drom_active() && !done_) {
+    engine_.cancel(policy_event_);
+    policy_event_ = sim::kInvalidEvent;
+    policy_tick();
+  }
+  for (int n = 0; n < topology_->node_count(); ++n) {
+    if (!node_retired_[static_cast<std::size_t>(n)]) kick_node(n);
+  }
+}
+
+void ClusterRuntime::schedule_elastic_tick() {
+  engine_.after(config_.elastic.eval_period, [this] { elastic_tick(); });
+}
+
+void ClusterRuntime::elastic_tick() {
+  if (done_) return;  // stop rescheduling; the engine can drain
+
+  // Pressure = demand over capacity: every task that wants a core (central
+  // queues, worker queues, in-flight offloads, running executions) against
+  // the cores of non-retired nodes.
+  double demand = 0.0;
+  for (const ApprankState& st : appranks_) {
+    demand += static_cast<double>(st.central.size());
+  }
+  for (int w = 0; w < topology_->worker_count(); ++w) {
+    if (!usable(w)) continue;
+    const WorkerState& ws = workers_[static_cast<std::size_t>(w)];
+    demand += static_cast<double>(ws.queue.size()) + ws.pending;
+  }
+  for (const auto& [eid, run] : running_) {
+    (void)eid;
+    if (!run.ghost) demand += 1.0;
+  }
+  double capacity = 0.0;
+  int active = 0;
+  for (int n = 0; n < topology_->node_count(); ++n) {
+    if (node_retired_[static_cast<std::size_t>(n)]) continue;
+    capacity += config_.cluster.nodes[static_cast<std::size_t>(n)].cores;
+    ++active;
+  }
+  const double pressure = capacity > 0.0 ? demand / capacity : 0.0;
+
+  const elastic::ScaleDecision d =
+      elastic_ctrl_->observe(engine_.now(), pressure, active);
+  if (d == elastic::ScaleDecision::Out) {
+    sim::NodeSpec spec;
+    spec.cores = config_.elastic.node_cores > 0
+                     ? config_.elastic.node_cores
+                     : config_.cluster.nodes.front().cores;
+    spec.speed = config_.elastic.node_speed;
+    for (int k = 0; k < config_.elastic.step; ++k) {
+      if (active >= elastic_ctrl_->max_nodes()) break;
+      grow_node(spec, config_.elastic.helpers_per_node);
+      ++active;
+    }
+  } else if (d == elastic::ScaleDecision::In) {
+    // Retire the most recently grown node that is fully idle (nothing
+    // queued, leased, or running on any resident). Original nodes host
+    // apprank processes and never retire.
+    for (int k = 0; k < config_.elastic.step; ++k) {
+      if (active <= elastic_ctrl_->min_nodes()) break;
+      int candidate = -1;
+      for (auto it = grown_nodes_.rbegin(); it != grown_nodes_.rend(); ++it) {
+        const int n = *it;
+        if (node_retired_[static_cast<std::size_t>(n)]) continue;
+        bool idle = true;
+        for (WorkerId w : topology_->workers_on_node(n)) {
+          const WorkerState& ws = workers_[static_cast<std::size_t>(w)];
+          if (!ws.queue.empty() || ws.pending > 0 || ws.inflight > 0 ||
+              (resil_active() && !leases_.tasks_on(w).empty())) {
+            idle = false;
+            break;
+          }
+        }
+        if (idle) {
+          candidate = n;
+          break;
+        }
+      }
+      if (candidate < 0) break;  // nothing idle enough; hold
+      retire_node(candidate);
+      --active;
+    }
+  }
+  schedule_elastic_tick();
 }
 
 }  // namespace tlb::core

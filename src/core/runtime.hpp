@@ -48,6 +48,7 @@
 #include "dlb/drom.hpp"
 #include "dlb/lewi.hpp"
 #include "dlb/talp.hpp"
+#include "elastic/controller.hpp"
 #include "graph/expander.hpp"
 #include "nanos/data_location.hpp"
 #include "nanos/dependency_graph.hpp"
@@ -227,6 +228,38 @@ class ClusterRuntime : private sched::RuntimeView {
   /// Annotates the trace timeline at the current simulated time.
   void mark_trace(const std::string& label);
 
+  // --- elasticity (tlb::elastic) --------------------------------------------
+
+  /// Provisions one new node mid-run: the crash-recovery rewire path run in
+  /// reverse. The expander's right partition grows by one vertex, `helpers`
+  /// helper ranks (0 = one per apprank, capped by the core count) are
+  /// epoch-stamped into the topology / control plane / DLB exactly like a
+  /// rewire replacement, and an immediate policy re-solve makes the node
+  /// schedulable. Only valid after start() (the initial ownership split
+  /// must exist), with the analytic interconnect (the fabric topology is
+  /// fixed), and before completion. Returns the new node id.
+  int grow_node(const sim::NodeSpec& spec, int helpers = 0);
+
+  /// Drains and retires a helper-only node: its workers stop taking new
+  /// work immediately (usable() goes false), queued-but-unstarted
+  /// assignments are rescued exactly once (under Heartbeat detection their
+  /// leases are revoked; executions already computing finish normally and
+  /// report valid completions), and the node's cores leave the balance
+  /// policies' capacity. Idempotent; throws if the node hosts an apprank
+  /// process.
+  void retire_node(int node);
+
+  [[nodiscard]] bool node_retired(int node) const {
+    return node_retired_.at(static_cast<std::size_t>(node)) != 0;
+  }
+  [[nodiscard]] bool worker_retired(WorkerId w) const {
+    return retired_.at(static_cast<std::size_t>(w)) != 0;
+  }
+  /// Nodes added by grow_node (in join order), for post-run inspection.
+  [[nodiscard]] const std::vector<int>& grown_nodes() const {
+    return grown_nodes_;
+  }
+
  private:
   struct WorkerState {
     std::deque<nanos::TaskId> queue;  ///< assigned, waiting for a core
@@ -341,11 +374,13 @@ class ClusterRuntime : private sched::RuntimeView {
   [[nodiscard]] bool resil_active() const {
     return config_.resil.heartbeat_active();
   }
-  /// Alive and not quarantined: eligible for pick_worker / LeWI backlog.
-  /// (Also part of the sched::RuntimeView window.)
+  /// Alive, not quarantined, and not draining towards retirement: eligible
+  /// for pick_worker / LeWI backlog. (Also part of the sched::RuntimeView
+  /// window.)
   [[nodiscard]] bool usable(WorkerId w) const override {
     return alive_[static_cast<std::size_t>(w)] != 0 &&
-           suspected_[static_cast<std::size_t>(w)] == 0;
+           suspected_[static_cast<std::size_t>(w)] == 0 &&
+           retired_[static_cast<std::size_t>(w)] == 0;
   }
   [[nodiscard]] bool any_worker_unusable() const;
   void start_heartbeats();
@@ -382,6 +417,11 @@ class ClusterRuntime : private sched::RuntimeView {
                : null_sink_;
   }
   void register_metrics();
+
+  // Elastic scaling loop (tlb::elastic; scheduled only when
+  // config_.elastic.enabled — the disabled path reads nothing).
+  void schedule_elastic_tick();
+  void elastic_tick();
 
   // DROM policy loop (§5.4).
   void schedule_policy_tick();
@@ -430,6 +470,8 @@ class ClusterRuntime : private sched::RuntimeView {
     obs::Counter* quarantine_readmissions = nullptr;
     obs::Counter* policy_downshifts = nullptr;
     obs::Counter* rewired_edges = nullptr;
+    obs::Counter* nodes_joined = nullptr;
+    obs::Counter* nodes_retired = nullptr;
     obs::Gauge* detection_latency_sum = nullptr;
     obs::Gauge* perfect_time = nullptr;
     obs::Histogram* iteration_time = nullptr;
@@ -470,6 +512,12 @@ class ClusterRuntime : private sched::RuntimeView {
   // Fault state (tlb::fault).
   std::vector<double> node_speed_;  ///< current speed factor per node
   std::vector<char> alive_;         ///< per-worker liveness (1 = alive)
+  // Elastic state (tlb::elastic). retired_ is per worker, node_retired_
+  // per node; both stay all-zero unless retire_node runs.
+  std::vector<char> retired_;       ///< 1 = draining / drained (scale-in)
+  std::vector<char> node_retired_;
+  std::vector<int> grown_nodes_;    ///< nodes added by grow_node, join order
+  std::unique_ptr<elastic::ElasticController> elastic_ctrl_;
   std::map<std::uint64_t, RunningExec> running_;  ///< keyed by exec id
   std::uint64_t next_exec_ = 0;
   vmpi::LinkFault link_fault_;

@@ -1,0 +1,57 @@
+#include "obs/events.hpp"
+
+#include <cstdio>
+
+namespace tlb::obs {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+void EventLog::record(double time, std::string kind, std::string detail) {
+  events_.push_back(Event{time, std::move(kind), std::move(detail)});
+}
+
+std::size_t EventLog::count(const std::string& kind) const {
+  std::size_t n = 0;
+  for (const Event& e : events_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+std::string EventLog::to_jsonl() const {
+  std::string out;
+  char head[64];
+  for (const Event& e : events_) {
+    std::snprintf(head, sizeof(head), "{\"time\":%.6f,\"kind\":\"", e.time);
+    out += head;
+    append_escaped(out, e.kind);
+    out += "\",\"detail\":\"";
+    append_escaped(out, e.detail);
+    out += "\"}\n";
+  }
+  return out;
+}
+
+}  // namespace tlb::obs

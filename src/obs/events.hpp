@@ -1,0 +1,37 @@
+// Structured event log (tlb::obs).
+//
+// A flat, append-only record of discrete control-plane happenings —
+// elastic scale-out/in, circuit-breaker trips, config pushes — that the
+// time-series metrics in obs::Registry cannot express: each entry keeps
+// its simulated timestamp, a kind tag, and a free-form detail string.
+// Benches serialize the log as JSON lines next to their metric reports so
+// a regression in, say, node-seconds can be traced to the exact scaling
+// decisions behind it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tlb::obs {
+
+struct Event {
+  double time = 0.0;    ///< simulated seconds
+  std::string kind;     ///< e.g. "scale_out", "breaker_trip", "xds_nack"
+  std::string detail;   ///< free-form, human-readable
+};
+
+class EventLog {
+ public:
+  void record(double time, std::string kind, std::string detail);
+
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+  [[nodiscard]] std::size_t count(const std::string& kind) const;
+
+  /// One JSON object per line: {"time":...,"kind":"...","detail":"..."}.
+  [[nodiscard]] std::string to_jsonl() const;
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace tlb::obs

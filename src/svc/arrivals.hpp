@@ -2,14 +2,16 @@
 //
 // Emits the arrival sequence of the service scenario: (time, template,
 // per-job seed) triples drawn from a Poisson, bursty (MMPP-2), or diurnal
-// (thinned non-homogeneous Poisson) process. Deterministic: the sequence
-// is a pure function of (ArrivalConfig, template weights, seed) —
-// independent of admission decisions or execution, so the same seed
-// offers the identical traffic to every configuration under test.
+// (thinned non-homogeneous Poisson) process, or replayed verbatim from a
+// recorded trace. Deterministic: the sequence is a pure function of
+// (ArrivalConfig, template weights, seed) — independent of admission
+// decisions or execution, so the same seed offers the identical traffic
+// to every configuration under test.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "sim/rng.hpp"
@@ -17,14 +19,18 @@
 
 namespace tlb::svc {
 
-/// One job arrival. `job_seed` drives the instance's workload draws
-/// (task durations) — derived from a dedicated RNG stream so two shapes
-/// with the same seed build comparable jobs.
-struct Arrival {
-  double time = 0.0;
-  int template_index = 0;
-  std::uint64_t job_seed = 0;
-};
+/// Serializes arrivals as JSON lines, one object per arrival:
+///   {"time":<%.17g>,"template":<int>,"seed":<uint64>}
+/// %.17g round-trips every finite double exactly through strtod, so
+/// generate → dump → parse → replay is bit-identical.
+[[nodiscard]] std::string dump_arrivals_jsonl(
+    const std::vector<Arrival>& arrivals);
+
+/// Inverse of dump_arrivals_jsonl. Blank lines are skipped; any other
+/// deviation from the dumped format throws std::invalid_argument naming
+/// the offending line.
+[[nodiscard]] std::vector<Arrival> parse_arrivals_jsonl(
+    const std::string& text);
 
 class ArrivalGenerator {
  public:
@@ -57,6 +63,7 @@ class ArrivalGenerator {
   bool in_burst_ = false;
   double switch_at_ = 0.0;  ///< next MMPP state toggle
   int emitted_ = 0;
+  std::size_t trace_pos_ = 0;  ///< Trace shape: next replay index
 };
 
 }  // namespace tlb::svc

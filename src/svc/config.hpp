@@ -36,15 +36,19 @@ enum class ArrivalShape {
   /// rate * (1 + amplitude * sin(2*pi*t / period)) — the compressed
   /// day/night cycle of the "millions of users" framing.
   Diurnal,
+  /// Replay of a recorded arrival log (ArrivalConfig::trace): no RNG
+  /// draws at all, so generate → dump → replay is bit-identical.
+  Trace,
 };
 
-/// Canonical name ("poisson", "bursty", "diurnal") — inverse of
+/// Canonical name ("poisson", "bursty", "diurnal", "trace") — inverse of
 /// parse_arrival_shape.
 [[nodiscard]] inline const char* to_string(ArrivalShape shape) {
   switch (shape) {
     case ArrivalShape::Poisson: return "poisson";
     case ArrivalShape::Bursty: return "bursty";
     case ArrivalShape::Diurnal: return "diurnal";
+    case ArrivalShape::Trace: return "trace";
   }
   return "?";
 }
@@ -56,9 +60,20 @@ enum class ArrivalShape {
   if (name == "poisson") return ArrivalShape::Poisson;
   if (name == "bursty") return ArrivalShape::Bursty;
   if (name == "diurnal") return ArrivalShape::Diurnal;
+  if (name == "trace") return ArrivalShape::Trace;
   throw std::invalid_argument("unknown arrival shape \"" + name +
-                              "\" (valid: poisson, bursty, diurnal)");
+                              "\" (valid: poisson, bursty, diurnal, trace)");
 }
+
+/// One job arrival. `job_seed` drives the instance's workload draws
+/// (task durations) — derived from a dedicated RNG stream so two shapes
+/// with the same seed build comparable jobs. Lives here (not arrivals.hpp)
+/// so ArrivalConfig can carry a recorded trace of them.
+struct Arrival {
+  double time = 0.0;
+  int template_index = 0;
+  std::uint64_t job_seed = 0;
+};
 
 /// Template an arriving job instance is drawn from: the shape of the app
 /// (size, imbalance, data volume) plus its service class. Each admitted
@@ -101,6 +116,11 @@ struct ArrivalConfig {
   // Diurnal shape.
   double diurnal_period = 30.0;
   double diurnal_amplitude = 0.8;  ///< in [0, 1)
+
+  /// Trace shape: the recorded log to replay, monotone non-decreasing in
+  /// time. Ignored by the synthetic shapes; see dump_arrivals_jsonl /
+  /// parse_arrivals_jsonl (arrivals.hpp) for the on-disk format.
+  std::vector<Arrival> trace;
 };
 
 /// Envoy-style admission / overload control. Disabled, every arrival is
@@ -144,6 +164,22 @@ struct AdmissionConfig {
   int retry_max = 2;
 };
 
+/// Per-tenant (per-template) circuit breaker: K consecutive SLO misses
+/// trip the tenant open; while open its arrivals are shed at the door
+/// (ShedBreaker) so one misbehaving tenant cannot wedge the shared FCFS
+/// queue for everyone else. After `open_duration` (scaled by
+/// `backoff_factor` per consecutive trip, capped at `max_open_duration`)
+/// a single half-open probe job is let through; `half_open_successes`
+/// SLO-met completions close the breaker, one more miss re-trips it.
+struct BreakerConfig {
+  bool enabled = false;
+  int failure_threshold = 3;      ///< consecutive SLO misses to trip
+  double open_duration = 2.0;     ///< base open interval, seconds
+  double backoff_factor = 2.0;    ///< per-consecutive-trip multiplier
+  double max_open_duration = 30.0;
+  int half_open_successes = 1;    ///< probe successes needed to close
+};
+
 struct SvcConfig {
   /// Master switch. False (the default) is inert: the core runtime never
   /// reads this struct, and svc::JobManager refuses a disabled config.
@@ -151,6 +187,7 @@ struct SvcConfig {
 
   ArrivalConfig arrivals;
   AdmissionConfig admission;
+  BreakerConfig breaker;  ///< per-tenant circuit breakers
 
   /// Job templates arrivals are drawn from (weighted). Empty is rejected
   /// by the JobManager — there is no implicit default job.

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "apps/synthetic.hpp"
+#include "sched/registry.hpp"
 
 namespace tlb::svc {
 
@@ -67,10 +68,47 @@ JobManager::JobManager(core::RuntimeConfig base)
     throw std::invalid_argument("JobManager: negative fabric_pressure");
   }
 
-  free_nodes_.resize(static_cast<std::size_t>(cluster_nodes));
-  for (int n = 0; n < cluster_nodes; ++n) {
-    free_nodes_[static_cast<std::size_t>(n)] = n;
+  if (svc_.breaker.enabled) {
+    breakers_.reserve(svc_.templates.size());
+    for (std::size_t t = 0; t < svc_.templates.size(); ++t) {
+      breakers_.emplace_back(svc_.breaker);  // ctor validates the config
+    }
   }
+
+  powered_.assign(static_cast<std::size_t>(cluster_nodes), 1);
+  provisioning_slot_.assign(static_cast<std::size_t>(cluster_nodes), 0);
+  power_on_at_.assign(static_cast<std::size_t>(cluster_nodes), 0.0);
+
+  if (base_.elastic.enabled) {
+    elastic_ctrl_ =
+        std::make_unique<elastic::ElasticController>(base_.elastic);
+    if (base_.elastic.min_nodes > cluster_nodes) {
+      throw std::invalid_argument(
+          "JobManager: elastic.min_nodes exceeds the cluster size");
+    }
+    // The pool can never grow past the declared cluster, whatever the
+    // configured ceiling says.
+    elastic_ctrl_->set_bounds(base_.elastic.min_nodes,
+                              std::min(base_.elastic.max_nodes,
+                                       cluster_nodes));
+    for (const JobTemplate& tpl : svc_.templates) {
+      if (tpl.nodes > elastic_ctrl_->max_nodes()) {
+        throw std::invalid_argument(
+            "JobManager: template \"" + tpl.name +
+            "\" can never fit within elastic.max_nodes");
+      }
+    }
+    // Slots above min_nodes start dark and are billed only once powered.
+    for (int n = elastic_ctrl_->min_nodes(); n < cluster_nodes; ++n) {
+      powered_[static_cast<std::size_t>(n)] = 0;
+    }
+  }
+  for (int n = 0; n < cluster_nodes; ++n) {
+    if (powered_[static_cast<std::size_t>(n)] != 0) free_nodes_.push_back(n);
+  }
+  peak_powered_ = powered_count();
+
+  subscribe_control_types();
 
   m_.arrived = &metrics_.counter("svc.jobs_arrived");
   m_.admitted = &metrics_.counter("svc.jobs_admitted");
@@ -78,11 +116,120 @@ JobManager::JobManager(core::RuntimeConfig base)
   m_.shed = &metrics_.counter("svc.jobs_shed");
   m_.shed_bucket = &metrics_.counter("svc.shed_bucket");
   m_.shed_limit = &metrics_.counter("svc.shed_limit");
+  m_.shed_breaker = &metrics_.counter("svc.shed_breaker");
   m_.retries = &metrics_.counter("svc.retries");
   m_.slo_met = &metrics_.counter("svc.slo_met");
+  m_.scale_out = &metrics_.counter("svc.scale_out");
+  m_.scale_in = &metrics_.counter("svc.scale_in");
   m_.latency = &metrics_.histogram("svc.latency", latency_bounds());
   m_.queue_wait = &metrics_.histogram("svc.queue_wait", latency_bounds());
   m_.service = &metrics_.histogram("svc.service", latency_bounds());
+}
+
+int JobManager::powered_count() const {
+  int n = 0;
+  for (char p : powered_) n += p != 0 ? 1 : 0;
+  return n;
+}
+
+void JobManager::subscribe_control_types() {
+  // Every applier validates the full payload before mutating any state, so
+  // a NACK leaves the previously acked config in force (the ControlPlane
+  // re-applies the last acked resource, which then must succeed).
+  control_.subscribe(
+      "tlb.sched.policy", [this](const elastic::Resource& res) -> std::string {
+        try {
+          const auto kv = elastic::parse_kv(res.payload);
+          const auto it = kv.find("policy");
+          if (it == kv.end()) return "missing key 'policy'";
+          const auto known = sched::known_policies();
+          if (std::find(known.begin(), known.end(), it->second) ==
+              known.end()) {
+            return "unknown scheduler policy '" + it->second + "'";
+          }
+          base_.sched.policy = it->second;  // affects subsequent launches
+          events_.record(engine_.now(), "xds_ack",
+                         "sched.policy=" + it->second);
+          return "";
+        } catch (const std::exception& e) {
+          return e.what();
+        }
+      });
+
+  control_.subscribe(
+      "tlb.svc.admission", [this](const elastic::Resource& res) -> std::string {
+        try {
+          const auto kv = elastic::parse_kv(res.payload);
+          AdmissionConfig next = svc_.admission;
+          next.bucket_rate =
+              elastic::kv_double(kv, "bucket_rate", next.bucket_rate);
+          next.bucket_burst =
+              elastic::kv_double(kv, "bucket_burst", next.bucket_burst);
+          next.initial_limit =
+              elastic::kv_int(kv, "initial_limit", next.initial_limit);
+          next.min_limit = elastic::kv_int(kv, "min_limit", next.min_limit);
+          next.max_limit = elastic::kv_int(kv, "max_limit", next.max_limit);
+          next.tolerance =
+              elastic::kv_double(kv, "tolerance", next.tolerance);
+          next.update_window =
+              elastic::kv_int(kv, "update_window", next.update_window);
+          if (next.bucket_rate < 0.0 || next.bucket_burst < 1.0) {
+            return "bucket_rate must be >= 0 and bucket_burst >= 1";
+          }
+          if (next.min_limit < 1 || next.max_limit < next.min_limit ||
+              next.initial_limit < next.min_limit ||
+              next.initial_limit > next.max_limit) {
+            return "limits must satisfy 1 <= min <= initial <= max";
+          }
+          if (next.tolerance <= 0.0 || next.update_window < 1) {
+            return "tolerance must be > 0 and update_window >= 1";
+          }
+          // Hot-swap: the controller restarts from the pushed config (the
+          // gradient limiter relearns its latency floor, deliberately).
+          svc_.admission = next;
+          admission_ = AdmissionController(next);
+          events_.record(engine_.now(), "xds_ack", "svc.admission updated");
+          return "";
+        } catch (const std::exception& e) {
+          return e.what();
+        }
+      });
+
+  control_.subscribe(
+      "tlb.elastic.nodes", [this](const elastic::Resource& res) -> std::string {
+        try {
+          if (elastic_ctrl_ == nullptr) {
+            return "elastic pool is disabled in this run";
+          }
+          const auto kv = elastic::parse_kv(res.payload);
+          const int min_n =
+              elastic::kv_int(kv, "min", elastic_ctrl_->min_nodes());
+          const int max_n =
+              elastic::kv_int(kv, "max", elastic_ctrl_->max_nodes());
+          const int cluster_nodes = base_.cluster.node_count();
+          if (min_n < 1 || max_n < min_n || max_n > cluster_nodes) {
+            return "bounds must satisfy 1 <= min <= max <= " +
+                   std::to_string(cluster_nodes);
+          }
+          elastic_ctrl_->set_bounds(min_n, max_n);
+          // A raised floor takes effect immediately instead of waiting for
+          // queue pressure that idle capacity would never generate.
+          for (int n = 0; n < cluster_nodes &&
+                          powered_count() + provisioning_ < min_n;
+               ++n) {
+            if (powered_[static_cast<std::size_t>(n)] == 0 &&
+                provisioning_slot_[static_cast<std::size_t>(n)] == 0) {
+              begin_power_up(n);
+            }
+          }
+          events_.record(engine_.now(), "xds_ack",
+                         "elastic.nodes min=" + std::to_string(min_n) +
+                             " max=" + std::to_string(max_n));
+          return "";
+        } catch (const std::exception& e) {
+          return e.what();
+        }
+      });
 }
 
 SvcResult JobManager::run() {
@@ -114,6 +261,7 @@ SvcResult JobManager::run() {
     records_.push_back(rec);
     engine_.at(a.time, [this, a, id = rec.id] { on_arrival(a, id, false); });
   }
+  if (elastic_ctrl_ != nullptr) schedule_elastic_tick();
   engine_.run();
 
   SvcResult res;
@@ -135,6 +283,25 @@ SvcResult JobManager::run() {
   res.final_limit = admission_.limiter().limit();
   res.engine_events = engine_.events_fired();
 
+  // Close out the billing interval of every still-powered slot. Static
+  // runs bill the whole cluster for the whole run by construction.
+  res.cost_node_seconds = node_seconds_;
+  for (int n = 0; n < base_.cluster.node_count(); ++n) {
+    if (powered_[static_cast<std::size_t>(n)] != 0 ||
+        provisioning_slot_[static_cast<std::size_t>(n)] != 0) {
+      res.cost_node_seconds +=
+          res.elapsed - power_on_at_[static_cast<std::size_t>(n)];
+    }
+  }
+  res.peak_nodes = peak_powered_;
+  res.scale_out_events = scale_outs_;
+  res.scale_in_events = scale_ins_;
+  res.shed_breaker = m_.shed_breaker->value();
+  for (const CircuitBreaker& br : breakers_) {
+    res.breaker_trips += br.trips();
+    res.breaker_open_time_s += br.open_time(res.elapsed);
+  }
+
   std::vector<double> latencies;
   std::vector<double> waits;
   std::vector<double> services;
@@ -146,18 +313,40 @@ SvcResult JobManager::run() {
   for (std::size_t c = 0; c < res.classes.size(); ++c) {
     res.classes[c].deadline_class = static_cast<int>(c);
   }
+  res.tenants.resize(svc_.templates.size());
+  std::vector<std::vector<double>> tenant_latencies(svc_.templates.size());
+  for (std::size_t t = 0; t < svc_.templates.size(); ++t) {
+    res.tenants[t].template_index = static_cast<int>(t);
+    res.tenants[t].name = svc_.templates[t].name;
+    if (t < breakers_.size()) {
+      res.tenants[t].breaker_trips = breakers_[t].trips();
+      res.tenants[t].breaker_open_time_s =
+          breakers_[t].open_time(res.elapsed);
+    }
+  }
   for (const JobRecord& rec : records_) {
     SvcClassRow& row =
         res.classes[static_cast<std::size_t>(rec.deadline_class)];
+    SvcTenantRow& tenant =
+        res.tenants[static_cast<std::size_t>(rec.template_index)];
     ++row.arrived;
+    ++tenant.arrived;
     if (rec.outcome == JobOutcome::Completed) {
       ++row.completed;
-      if (rec.slo_met) ++row.slo_met;
+      ++tenant.completed;
+      if (rec.slo_met) {
+        ++row.slo_met;
+        ++tenant.slo_met;
+      }
       latencies.push_back(rec.latency());
       waits.push_back(rec.queue_wait());
       services.push_back(rec.service());
+      tenant_latencies[static_cast<std::size_t>(rec.template_index)]
+          .push_back(rec.latency());
     } else if (rec.outcome != JobOutcome::Pending) {
       ++row.shed;
+      ++tenant.shed;
+      if (rec.outcome == JobOutcome::ShedBreaker) ++tenant.shed_breaker;
     }
   }
   std::sort(latencies.begin(), latencies.end());
@@ -168,6 +357,10 @@ SvcResult JobManager::run() {
   res.queue_wait_p50 = percentile(waits, 0.50);
   res.queue_wait_p99 = percentile(waits, 0.99);
   res.service_mean = mean_of(services);
+  for (std::size_t t = 0; t < res.tenants.size(); ++t) {
+    std::sort(tenant_latencies[t].begin(), tenant_latencies[t].end());
+    res.tenants[t].latency_p99 = percentile(tenant_latencies[t], 0.99);
+  }
 
   metrics_.gauge("svc.goodput").set(res.goodput);
   metrics_.gauge("svc.shed_rate").set(res.shed_rate);
@@ -176,7 +369,19 @@ SvcResult JobManager::run() {
   metrics_.gauge("svc.queue_wait_p99").set(res.queue_wait_p99);
   metrics_.gauge("svc.final_limit").set(res.final_limit);
   metrics_.gauge("svc.elapsed").set(res.elapsed);
+  metrics_.gauge("svc.node_seconds").set(res.cost_node_seconds);
+  metrics_.gauge("svc.peak_nodes").set(res.peak_nodes);
+  metrics_.gauge("svc.breaker_open_time_s").set(res.breaker_open_time_s);
   return res;
+}
+
+void JobManager::decide(int record_id, JobOutcome outcome) {
+  JobRecord& rec = records_[static_cast<std::size_t>(record_id)];
+  if (rec.outcome != JobOutcome::Pending) {
+    throw std::logic_error("JobManager: record decided twice");
+  }
+  rec.outcome = outcome;
+  ++decided_;
 }
 
 void JobManager::on_arrival(const Arrival& arrival, int record_id,
@@ -187,6 +392,28 @@ void JobManager::on_arrival(const Arrival& arrival, int record_id,
     m_.arrived->inc();
   }
   const JobRecord& rec = records_[static_cast<std::size_t>(record_id)];
+
+  bool is_probe = false;
+  if (!breakers_.empty()) {
+    CircuitBreaker& br =
+        breakers_[static_cast<std::size_t>(rec.template_index)];
+    const std::uint64_t trips_before = br.trips();
+    if (!br.allow(engine_.now())) {
+      // Tenant-level door: no retry — the breaker *is* the backoff.
+      decide(record_id, JobOutcome::ShedBreaker);
+      m_.shed->inc();
+      m_.shed_breaker->inc();
+      (void)trips_before;
+      return;
+    }
+    is_probe = br.state() == BreakerState::HalfOpen;
+    if (is_probe) {
+      events_.record(engine_.now(), "breaker_probe",
+                     svc_.templates[static_cast<std::size_t>(
+                                        rec.template_index)].name);
+    }
+  }
+
   const AdmitVerdict verdict =
       svc_.admission.enabled
           ? admission_.decide(rec.deadline_class, in_flight(), engine_.now())
@@ -197,27 +424,34 @@ void JobManager::on_arrival(const Arrival& arrival, int record_id,
     try_dispatch();
     return;
   }
-  reject(arrival, record_id, verdict);
+  reject(arrival, record_id, verdict, is_probe);
 }
 
 void JobManager::reject(const Arrival& arrival, int record_id,
-                        AdmitVerdict verdict) {
+                        AdmitVerdict verdict, bool is_probe) {
   JobRecord& rec = records_[static_cast<std::size_t>(record_id)];
-  const AdmissionConfig& adm = svc_.admission;
-  if (rec.retries < adm.retry_max &&
-      admission_.retry_budget().try_start(in_flight())) {
+  if (is_probe) {
+    // Admission shed the half-open probe before it could run: re-arm the
+    // breaker's open timer (no backoff escalation) instead of wedging in
+    // HalfOpen waiting for feedback that will never arrive. Probes do not
+    // retry — the re-armed breaker is the backoff.
+    breakers_[static_cast<std::size_t>(rec.template_index)].on_probe_shed(
+        engine_.now());
+  } else if (rec.retries < svc_.admission.retry_max &&
+             admission_.retry_budget().try_start(in_flight())) {
     ++rec.retries;
     m_.retries->inc();
-    const double delay =
-        adm.retry_backoff * std::pow(2.0, static_cast<double>(rec.retries - 1));
+    const double delay = svc_.admission.retry_backoff *
+                         std::pow(2.0, static_cast<double>(rec.retries - 1));
     engine_.after(delay,
                   [this, arrival, record_id] {
                     on_arrival(arrival, record_id, /*is_retry=*/true);
                   });
     return;
   }
-  rec.outcome = verdict == AdmitVerdict::ShedBucket ? JobOutcome::ShedBucket
-                                                    : JobOutcome::ShedLimit;
+  decide(record_id, verdict == AdmitVerdict::ShedBucket
+                        ? JobOutcome::ShedBucket
+                        : JobOutcome::ShedLimit);
   m_.shed->inc();
   (verdict == AdmitVerdict::ShedBucket ? m_.shed_bucket : m_.shed_limit)
       ->inc();
@@ -266,19 +500,25 @@ void JobManager::launch(int record_id) {
 
   job->runtime = std::make_unique<core::ClusterRuntime>(
       job_config(tpl, nodes, rec.job_seed), &engine_);
+  // Register the job before start(): the completion callback indexes
+  // launched_, and start() must never observe an unregistered job even if
+  // a degenerate workload were to complete without deferring.
   const std::size_t index = launched_.size();
-  job->runtime->start(*job->workload, [this, index] { on_job_done(index); });
   launched_.push_back(std::move(job));
+  launched_[index]->runtime->start(*launched_[index]->workload,
+                                   [this, index] { on_job_done(index); });
 }
 
 void JobManager::on_job_done(std::size_t launched_index) {
+  // Reference the pointee, not the vector slot: try_dispatch() below may
+  // launch and push_back, reallocating launched_.
   LaunchedJob& job = *launched_[launched_index];
   job.done = true;
   job.runtime->finalize();
 
   JobRecord& rec = records_[static_cast<std::size_t>(job.record)];
   rec.finished = engine_.now();
-  rec.outcome = JobOutcome::Completed;
+  decide(job.record, JobOutcome::Completed);
   rec.slo_met = rec.latency() <= rec.deadline;
 
   m_.completed->inc();
@@ -289,11 +529,123 @@ void JobManager::on_job_done(std::size_t launched_index) {
   if (svc_.admission.enabled) {
     admission_.on_job_latency(rec.latency());
   }
+  if (!breakers_.empty()) {
+    CircuitBreaker& br =
+        breakers_[static_cast<std::size_t>(rec.template_index)];
+    const std::uint64_t trips_before = br.trips();
+    if (rec.slo_met) {
+      br.on_success(engine_.now());
+    } else {
+      br.on_failure(engine_.now());
+    }
+    if (br.trips() != trips_before) {
+      events_.record(engine_.now(), "breaker_trip",
+                     svc_.templates[static_cast<std::size_t>(
+                                        rec.template_index)].name);
+    }
+  }
 
   free_nodes_.insert(free_nodes_.end(), job.nodes.begin(), job.nodes.end());
   std::sort(free_nodes_.begin(), free_nodes_.end());
   --running_;
   try_dispatch();
+}
+
+void JobManager::schedule_elastic_tick() {
+  engine_.after(base_.elastic.eval_period, [this] { elastic_tick(); });
+}
+
+void JobManager::elastic_tick() {
+  // Terminate once every record is decided: nothing can create demand any
+  // more, and an immortal tick would keep the engine alive forever.
+  if (!work_remaining()) return;
+
+  const double now = engine_.now();
+  const int powered = powered_count();
+  const int active = powered + provisioning_;
+  int queued_nodes = 0;
+  for (int id : pending_) {
+    queued_nodes +=
+        svc_.templates[static_cast<std::size_t>(
+                           records_[static_cast<std::size_t>(id)]
+                               .template_index)].nodes;
+  }
+  const int busy_nodes = powered - static_cast<int>(free_nodes_.size());
+  const double pressure =
+      active > 0 ? static_cast<double>(queued_nodes + busy_nodes) /
+                       static_cast<double>(active)
+                 : 1.0e9;
+
+  const elastic::ScaleDecision decision =
+      elastic_ctrl_->observe(now, pressure, active);
+  if (decision == elastic::ScaleDecision::Out) {
+    int budget = base_.elastic.step;
+    for (int n = 0; n < base_.cluster.node_count() && budget > 0 &&
+                    powered_count() + provisioning_ <
+                        elastic_ctrl_->max_nodes();
+         ++n) {
+      if (powered_[static_cast<std::size_t>(n)] == 0 &&
+          provisioning_slot_[static_cast<std::size_t>(n)] == 0) {
+        begin_power_up(n);
+        --budget;
+      }
+    }
+  } else if (decision == elastic::ScaleDecision::In && pending_.empty()) {
+    // Only idle *free* nodes are reclaimable — a running job's partition
+    // is never powered off under it, and a non-empty queue means the head
+    // does not fit yet, which more capacity (not less) resolves.
+    int budget = base_.elastic.step;
+    while (budget > 0 && !free_nodes_.empty() &&
+           powered_count() + provisioning_ > elastic_ctrl_->min_nodes()) {
+      // Highest-indexed free slot: launches prefer low indices, so high
+      // slots are the coldest and repowering cost stays on the fringe.
+      power_down(free_nodes_.back());
+      --budget;
+    }
+  }
+  schedule_elastic_tick();
+}
+
+void JobManager::begin_power_up(int node) {
+  provisioning_slot_[static_cast<std::size_t>(node)] = 1;
+  ++provisioning_;
+  ++scale_outs_;
+  m_.scale_out->inc();
+  // Billing starts at the provisioning decision — a booting node costs
+  // money before it serves jobs, which is exactly the elasticity tax the
+  // node-seconds metric should expose.
+  power_on_at_[static_cast<std::size_t>(node)] = engine_.now();
+  events_.record(engine_.now(), "scale_out",
+                 "node " + std::to_string(node) + " provisioning");
+  engine_.after(base_.elastic.provision_delay,
+                [this, node] { power_up(node); });
+}
+
+void JobManager::power_up(int node) {
+  provisioning_slot_[static_cast<std::size_t>(node)] = 0;
+  --provisioning_;
+  powered_[static_cast<std::size_t>(node)] = 1;
+  free_nodes_.insert(
+      std::upper_bound(free_nodes_.begin(), free_nodes_.end(), node), node);
+  peak_powered_ = std::max(peak_powered_, powered_count());
+  events_.record(engine_.now(), "node_up", "node " + std::to_string(node));
+  try_dispatch();
+}
+
+void JobManager::power_down(int node) {
+  const auto it =
+      std::find(free_nodes_.begin(), free_nodes_.end(), node);
+  if (it == free_nodes_.end()) {
+    throw std::logic_error("JobManager: powering down a non-free node");
+  }
+  free_nodes_.erase(it);
+  powered_[static_cast<std::size_t>(node)] = 0;
+  node_seconds_ +=
+      engine_.now() - power_on_at_[static_cast<std::size_t>(node)];
+  ++scale_ins_;
+  m_.scale_in->inc();
+  events_.record(engine_.now(), "scale_in",
+                 "node " + std::to_string(node) + " powered off");
 }
 
 core::RuntimeConfig JobManager::job_config(const JobTemplate& tpl,
@@ -316,6 +668,7 @@ core::RuntimeConfig JobManager::job_config(const JobTemplate& tpl,
   cfg.seed = job_seed;
   cfg.record_traces = false;
   cfg.svc = SvcConfig{};  // jobs are batch instances, never nested services
+  cfg.elastic = elastic::ElasticConfig{};  // pool elasticity is ours alone
   return cfg;
 }
 

@@ -14,6 +14,15 @@ Recorder::Recorder(int nodes, int appranks)
   assert(nodes > 0 && appranks > 0);
 }
 
+void Recorder::add_node() {
+  for (int a = 0; a < appranks_; ++a) {
+    busy_.emplace_back();
+    owned_.emplace_back();
+  }
+  node_busy_.emplace_back();
+  ++nodes_;
+}
+
 void Recorder::busy_delta(sim::SimTime t, int node, int apprank, int delta) {
   busy_[idx(node, apprank)].add(t, delta);
   node_busy_[static_cast<std::size_t>(node)].add(t, delta);

@@ -41,6 +41,11 @@ class Recorder {
   [[nodiscard]] int nodes() const { return nodes_; }
   [[nodiscard]] int appranks() const { return appranks_; }
 
+  /// Grows the recorder by one node (elastic scale-out). The node-major
+  /// series layout makes this append-only: existing (node, apprank)
+  /// indices are unchanged.
+  void add_node();
+
   void busy_delta(sim::SimTime t, int node, int apprank, int delta);
   void set_owned(sim::SimTime t, int node, int apprank, int count);
   void task_executed(int apprank, int node, int home_node, double work);

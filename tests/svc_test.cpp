@@ -7,6 +7,7 @@
 #include <cmath>
 #include <cstdint>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -15,6 +16,7 @@
 #include "core/runtime.hpp"
 #include "svc/admission.hpp"
 #include "svc/arrivals.hpp"
+#include "svc/breaker.hpp"
 #include "svc/job_manager.hpp"
 
 namespace {
@@ -440,6 +442,243 @@ TEST(JobManager, FabricPressureDeratesCoRunningJobs) {
     return mgr.run().service_mean;
   };
   EXPECT_GT(run_with_pressure(2.0), run_with_pressure(0.0));
+}
+
+// --- trace arrivals (JSONL record / replay) ----------------------------------
+
+TEST(TraceArrivals, DumpParseRoundTripIsBitIdentical) {
+  svc::ArrivalConfig cfg = arrival_config(svc::ArrivalShape::Diurnal);
+  svc::ArrivalGenerator gen(cfg, {3.0, 1.0}, 2024);
+  const std::vector<svc::Arrival> original = gen.all();
+  ASSERT_FALSE(original.empty());
+
+  const std::string jsonl = svc::dump_arrivals_jsonl(original);
+  const std::vector<svc::Arrival> parsed = svc::parse_arrivals_jsonl(jsonl);
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    // Bitwise: %.17g round-trips every IEEE-754 binary64 exactly.
+    EXPECT_EQ(parsed[i].time, original[i].time) << "arrival " << i;
+    EXPECT_EQ(parsed[i].template_index, original[i].template_index);
+    EXPECT_EQ(parsed[i].job_seed, original[i].job_seed);
+  }
+  // dump(parse(dump(x))) is a fixed point, so the file format is stable.
+  EXPECT_EQ(svc::dump_arrivals_jsonl(parsed), jsonl);
+}
+
+TEST(TraceArrivals, ReplayEmitsTheRecordedSequence) {
+  svc::ArrivalConfig record_cfg = arrival_config(svc::ArrivalShape::Bursty);
+  svc::ArrivalGenerator recorder(record_cfg, {2.0, 1.0}, 7);
+  const std::vector<svc::Arrival> original = recorder.all();
+  ASSERT_FALSE(original.empty());
+
+  svc::ArrivalConfig replay_cfg = arrival_config(svc::ArrivalShape::Trace);
+  replay_cfg.trace = original;
+  // A different seed must not matter: replay reads the trace, not the RNG.
+  svc::ArrivalGenerator replayer(replay_cfg, {2.0, 1.0}, 99999);
+  const std::vector<svc::Arrival> replayed = replayer.all();
+  ASSERT_EQ(replayed.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(replayed[i].time, original[i].time);
+    EXPECT_EQ(replayed[i].template_index, original[i].template_index);
+    EXPECT_EQ(replayed[i].job_seed, original[i].job_seed);
+  }
+}
+
+TEST(TraceArrivals, ReplayHonorsHorizonAndMaxArrivals) {
+  svc::ArrivalConfig cfg = arrival_config(svc::ArrivalShape::Trace);
+  cfg.horizon = 1.5;
+  cfg.trace = {{0.5, 0, 11}, {1.0, 0, 22}, {2.0, 0, 33}};
+  svc::ArrivalGenerator gen(cfg, {1.0}, 1);
+  EXPECT_EQ(gen.all().size(), 2u);  // the 2.0 s arrival is past the horizon
+
+  cfg.horizon = 50.0;
+  cfg.max_arrivals = 1;
+  svc::ArrivalGenerator capped(cfg, {1.0}, 1);
+  EXPECT_EQ(capped.all().size(), 1u);
+}
+
+TEST(TraceArrivals, RejectsMalformedTraces) {
+  svc::ArrivalConfig cfg = arrival_config(svc::ArrivalShape::Trace);
+  cfg.trace = {{1.0, 0, 1}, {0.5, 0, 2}};  // non-monotone times
+  EXPECT_THROW(svc::ArrivalGenerator(cfg, {1.0}, 1), std::invalid_argument);
+  cfg.trace = {{0.5, 3, 1}};  // template index out of range
+  EXPECT_THROW(svc::ArrivalGenerator(cfg, {1.0}, 1), std::invalid_argument);
+}
+
+TEST(TraceArrivals, ParserRejectsMalformedJsonlNamingTheLine) {
+  try {
+    (void)svc::parse_arrivals_jsonl(
+        "{\"time\":1,\"template\":0,\"seed\":1}\n"
+        "{\"time\":oops,\"template\":0,\"seed\":2}\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TraceArrivals, ShapeNameRoundTrips) {
+  EXPECT_EQ(svc::parse_arrival_shape("trace"), svc::ArrivalShape::Trace);
+  EXPECT_STREQ(svc::to_string(svc::ArrivalShape::Trace), "trace");
+}
+
+// --- circuit breaker ---------------------------------------------------------
+
+svc::BreakerConfig breaker_config() {
+  svc::BreakerConfig cfg;
+  cfg.enabled = true;
+  cfg.failure_threshold = 3;
+  cfg.open_duration = 2.0;
+  cfg.backoff_factor = 2.0;
+  cfg.max_open_duration = 8.0;
+  cfg.half_open_successes = 1;
+  return cfg;
+}
+
+TEST(CircuitBreaker, TripsAfterConsecutiveFailures) {
+  svc::CircuitBreaker br(breaker_config());
+  EXPECT_TRUE(br.allow(0.0));
+  br.on_failure(0.1);
+  br.on_failure(0.2);
+  EXPECT_EQ(br.state(), svc::BreakerState::Closed);
+  br.on_failure(0.3);
+  EXPECT_EQ(br.state(), svc::BreakerState::Open);
+  EXPECT_EQ(br.trips(), 1u);
+  EXPECT_FALSE(br.allow(0.5));  // open until 0.3 + 2.0
+  EXPECT_FALSE(br.allow(2.2));
+  EXPECT_EQ(br.shed(), 2u);
+}
+
+TEST(CircuitBreaker, SuccessResetsTheFailureStreak) {
+  svc::CircuitBreaker br(breaker_config());
+  br.on_failure(0.1);
+  br.on_failure(0.2);
+  br.on_success(0.3);  // streak broken: the threshold is consecutive misses
+  br.on_failure(0.4);
+  br.on_failure(0.5);
+  EXPECT_EQ(br.state(), svc::BreakerState::Closed);
+  br.on_failure(0.6);
+  EXPECT_EQ(br.state(), svc::BreakerState::Open);
+}
+
+TEST(CircuitBreaker, HalfOpenAllowsExactlyOneProbe) {
+  svc::CircuitBreaker br(breaker_config());
+  for (int i = 0; i < 3; ++i) br.on_failure(0.1);
+  ASSERT_EQ(br.state(), svc::BreakerState::Open);  // until 2.1
+  EXPECT_TRUE(br.allow(2.2));  // the probe
+  EXPECT_EQ(br.state(), svc::BreakerState::HalfOpen);
+  EXPECT_FALSE(br.allow(2.3));  // shed while the probe is in flight
+  br.on_success(2.4);           // half_open_successes = 1 closes
+  EXPECT_EQ(br.state(), svc::BreakerState::Closed);
+  EXPECT_TRUE(br.allow(2.5));
+}
+
+TEST(CircuitBreaker, ProbeFailureEscalatesBackoffUpToTheCap) {
+  svc::CircuitBreaker br(breaker_config());
+  for (int i = 0; i < 3; ++i) br.on_failure(0.0);
+  // Trip 1: open 2.0 s. Probe at 2.0 fails -> trip 2: open 4.0 s.
+  EXPECT_TRUE(br.allow(2.0));
+  br.on_failure(2.0);
+  EXPECT_FALSE(br.allow(5.9));
+  // Trip 3: 8.0 s (2 * 2^2). Trip 4 would be 16 but caps at 8.
+  EXPECT_TRUE(br.allow(6.0));
+  br.on_failure(6.0);
+  EXPECT_FALSE(br.allow(13.9));
+  EXPECT_TRUE(br.allow(14.0));
+  br.on_failure(14.0);
+  EXPECT_FALSE(br.allow(21.9));  // capped: 14 + 8, not 14 + 16
+  EXPECT_TRUE(br.allow(22.0));
+  EXPECT_EQ(br.trips(), 4u);
+}
+
+TEST(CircuitBreaker, ProbeShedReArmsWithoutEscalation) {
+  svc::CircuitBreaker br(breaker_config());
+  for (int i = 0; i < 3; ++i) br.on_failure(0.0);
+  EXPECT_TRUE(br.allow(2.0));  // probe admitted by the breaker...
+  ASSERT_EQ(br.state(), svc::BreakerState::HalfOpen);
+  // ...but the admission controller sheds it: backpressure, not tenant
+  // evidence, so the open window re-arms at the *unescalated* duration.
+  br.on_probe_shed(2.0);
+  EXPECT_EQ(br.state(), svc::BreakerState::Open);
+  EXPECT_EQ(br.trips(), 1u);      // no new trip
+  EXPECT_FALSE(br.allow(3.9));    // 2.0 + 2.0, not 2.0 + 4.0
+  EXPECT_TRUE(br.allow(4.0));
+}
+
+TEST(CircuitBreaker, TracksCumulativeOpenTime) {
+  svc::CircuitBreaker br(breaker_config());
+  EXPECT_DOUBLE_EQ(br.open_time(5.0), 0.0);
+  for (int i = 0; i < 3; ++i) br.on_failure(1.0);
+  EXPECT_DOUBLE_EQ(br.open_time(2.5), 1.5);  // still open: live interval
+  EXPECT_TRUE(br.allow(3.0));                // probe
+  br.on_success(3.5);                        // closed at 3.5
+  EXPECT_DOUBLE_EQ(br.open_time(10.0), 2.5);  // 1.0 .. 3.5, then closed
+}
+
+TEST(CircuitBreaker, RejectsInvalidConfigs) {
+  auto bad = breaker_config();
+  bad.failure_threshold = 0;
+  EXPECT_THROW(svc::CircuitBreaker{bad}, std::invalid_argument);
+  bad = breaker_config();
+  bad.open_duration = 0.0;
+  EXPECT_THROW(svc::CircuitBreaker{bad}, std::invalid_argument);
+  bad = breaker_config();
+  bad.backoff_factor = 0.5;
+  EXPECT_THROW(svc::CircuitBreaker{bad}, std::invalid_argument);
+  bad = breaker_config();
+  bad.max_open_duration = 1.0;  // < open_duration
+  EXPECT_THROW(svc::CircuitBreaker{bad}, std::invalid_argument);
+  bad = breaker_config();
+  bad.half_open_successes = 0;
+  EXPECT_THROW(svc::CircuitBreaker{bad}, std::invalid_argument);
+}
+
+// --- breaker / job-manager integration ---------------------------------------
+
+TEST(JobManager, BreakerIsolatesARogueTenant) {
+  core::RuntimeConfig cfg = service_config(6.0, 4.0, false);
+  cfg.svc.templates[0].deadline = 10.0;  // healthy tenant: generous SLO
+  svc::JobTemplate rogue = cfg.svc.templates[0];
+  rogue.deadline = 1e-3;  // impossible: every completion misses its SLO
+  rogue.weight = 1.0;
+  cfg.svc.templates.push_back(rogue);
+  cfg.svc.breaker.enabled = true;
+  cfg.svc.breaker.failure_threshold = 2;
+  cfg.svc.breaker.open_duration = 1.0;
+
+  svc::JobManager mgr(cfg);
+  const svc::SvcResult r = mgr.run();
+
+  ASSERT_EQ(r.tenants.size(), 2u);
+  const svc::SvcTenantRow& healthy = r.tenants[0];
+  const svc::SvcTenantRow& rogue_row = r.tenants[1];
+  // The rogue trips its own breaker and gets shed; the healthy tenant's
+  // breaker never opens and its jobs keep completing.
+  EXPECT_GT(rogue_row.breaker_trips, 0u);
+  EXPECT_GT(rogue_row.shed_breaker, 0u);
+  EXPECT_GT(rogue_row.breaker_open_time_s, 0.0);
+  EXPECT_EQ(healthy.breaker_trips, 0u);
+  EXPECT_EQ(healthy.shed_breaker, 0u);
+  EXPECT_GT(healthy.completed, 0u);
+  // Aggregates are the per-tenant sums.
+  EXPECT_EQ(r.shed_breaker, rogue_row.shed_breaker);
+  EXPECT_EQ(r.breaker_trips, rogue_row.breaker_trips);
+  // Breaker sheds are terminal (no retry) and never launched.
+  for (const auto& rec : mgr.jobs()) {
+    if (rec.outcome == svc::JobOutcome::ShedBreaker) {
+      EXPECT_LT(rec.started, 0.0);
+      EXPECT_EQ(rec.retries, 0);
+    }
+  }
+}
+
+TEST(JobManager, BreakerDisabledLeavesNoBreakerState) {
+  svc::JobManager mgr(service_config(2.0, 1.0, false));
+  EXPECT_TRUE(mgr.breakers().empty());
+  const svc::SvcResult r = mgr.run();
+  EXPECT_EQ(r.shed_breaker, 0u);
+  EXPECT_EQ(r.breaker_trips, 0u);
+  EXPECT_DOUBLE_EQ(r.breaker_open_time_s, 0.0);
 }
 
 }  // namespace

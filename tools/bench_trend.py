@@ -6,8 +6,9 @@ run's smoke reports, the base directory is the latest ``bench-reports``
 artifact from main. For every figure present in both, each point is matched
 by (series name, position) and its tracked metrics are compared. Metrics
 are direction-aware: for ``makespan`` (or the first key containing
-"makespan") and ``latency_p99_s``, growth beyond the threshold (default
-20%) is a regression; for ``goodput``, a *drop* beyond the threshold is.
+"makespan"), ``latency_p99_s``, ``cost_node_seconds`` and
+``breaker_open_time_s``, growth beyond the threshold (default 20%) is a
+regression; for ``goodput``, a *drop* beyond the threshold is.
 
 The job is *fail-soft*: regressions are reported as GitHub ``::warning::``
 annotations (plain lines outside Actions) and the exit code stays 0 unless
@@ -60,6 +61,12 @@ def point_metrics(point: dict) -> list[tuple[str, bool]]:
         metrics.append(("latency_p99_s", True))
     if isinstance(point.get("goodput"), (int, float)):
         metrics.append(("goodput", False))
+    # Elastic-pool economics (fig16): billed node-seconds and the time the
+    # tenants' circuit breakers spent open both regress when they grow.
+    if isinstance(point.get("cost_node_seconds"), (int, float)):
+        metrics.append(("cost_node_seconds", True))
+    if isinstance(point.get("breaker_open_time_s"), (int, float)):
+        metrics.append(("breaker_open_time_s", True))
     return metrics
 
 
