@@ -9,6 +9,7 @@
 #include "bench/common.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/critical_path.hpp"
+#include "obs/flame.hpp"
 #include "obs/pop.hpp"
 #include "trace/paraver.hpp"
 #include "trace/recorder.hpp"
@@ -94,6 +95,10 @@ int main() {
       const std::string stem = std::string(dir) + "/fig09_" + v.name;
       write_text_file(stem + ".trace.json",
                       tlb::obs::chrome_trace_json(*rt.spans(), 4, 4));
+      // Collapsed stacks: feed to flamegraph.pl or speedscope.app to see
+      // where simulated time went (queue / transfer / exec per node).
+      write_text_file(stem + ".flame.folded",
+                      tlb::obs::collapsed_stacks_text(*rt.spans()));
       write_text_file(stem + ".prv",
                       tlb::trace::to_paraver(rt.recorder(), r.makespan));
       write_text_file(stem + ".row",

@@ -5,6 +5,7 @@
 
 #include "core/policies.hpp"
 #include "elastic/config.hpp"
+#include "hier/config.hpp"
 #include "net/config.hpp"
 #include "obs/config.hpp"
 #include "resil/config.hpp"
@@ -70,6 +71,14 @@ struct RuntimeConfig {
   /// offloading on observed task waits. Unknown names are rejected at
   /// ClusterRuntime construction with the list of valid values.
   sched::SchedConfig sched;
+
+  /// Hierarchical two-level scheduling (tlb::hier). Off by default — the
+  /// flat policy named by `sched.policy` runs and plain schedules stay
+  /// bit-identical. When enabled, victim selection goes through per-node
+  /// local masters and a global balancer over compact load summaries
+  /// (overrides `sched.policy`; equivalent to sched.policy = "hier" with
+  /// this struct's tuning applied).
+  hier::HierConfig hier;
 
   /// Observability (tlb::obs). Off by default; enabling span collection is
   /// pure recording and keeps schedules bit-identical (the metrics

@@ -7,6 +7,7 @@
 #include <string>
 #include <utility>
 
+#include "hier/hier_scheduler.hpp"
 #include "metrics/recovery.hpp"
 #include "sched/registry.hpp"
 #include "solver/allocation.hpp"
@@ -168,10 +169,72 @@ ClusterRuntime::ClusterRuntime(RuntimeConfig config, sim::Engine* shared_engine)
   workers_.resize(static_cast<std::size_t>(topology_->worker_count()));
   appranks_.resize(static_cast<std::size_t>(topology_->apprank_count()));
 
-  // Victim-selection policy (tlb::sched). Built last so it can observe the
-  // fully-constructed runtime through the RuntimeView window; throws on an
-  // unknown policy name (listing the valid values).
-  scheduler_ = sched::make_scheduler(config_.sched, *this);
+  // Victim-selection policy (tlb::sched / tlb::hier). Built last so it can
+  // observe the fully-constructed runtime through the RuntimeView window;
+  // throws on an unknown policy name (listing the valid values).
+  // register_policies is idempotent: "hier" enters the registry once per
+  // process, whichever runtime constructs first.
+  hier::register_policies();
+  scheduler_ =
+      make_policy(config_.hier.enabled ? "hier" : config_.sched.policy);
+  subscribe_control_types();
+}
+
+std::unique_ptr<sched::Scheduler> ClusterRuntime::make_policy(
+    const std::string& name) {
+  if (name == "hier") {
+    // Built directly (not through the registry factory) so the instance
+    // carries RuntimeConfig::hier's tuning, not HierConfig defaults. The
+    // base conversion must happen here, in member context, where the
+    // private sched::RuntimeView base is accessible.
+    const sched::RuntimeView& view = *this;
+    return std::make_unique<hier::HierScheduler>(config_.hier, config_.sched,
+                                                 view);
+  }
+  sched::SchedConfig sc = config_.sched;
+  sc.policy = name;
+  return sched::make_scheduler(sc, *this);
+}
+
+void ClusterRuntime::set_sched_policy(const std::string& name) {
+  // Construct-then-swap: an unknown name throws here and the running
+  // policy is never touched (the control-plane applier relies on this for
+  // its NACK-without-side-effects contract).
+  std::unique_ptr<sched::Scheduler> next = make_policy(name);
+  sched_retired_.merge(scheduler_->stats());
+  scheduler_ = std::move(next);
+  ++sched_swaps_;
+  mark_trace("sched policy -> " + name);
+}
+
+void ClusterRuntime::subscribe_control_types() {
+  control_.subscribe(
+      "tlb.sched.policy", [this](const elastic::Resource& r) -> std::string {
+        std::map<std::string, std::string> kv;
+        try {
+          kv = elastic::parse_kv(r.payload);
+        } catch (const std::exception& e) {
+          return e.what();
+        }
+        const auto it = kv.find("policy");
+        if (it == kv.end()) {
+          return "tlb.sched.policy: missing key 'policy'";
+        }
+        // Validate before mutate: set_sched_policy would throw on an
+        // unknown name anyway (leaving the old policy in place), but a
+        // registry check gives the NACK a precise reason.
+        if (it->second != "hier" && !sched::policy_registered(it->second)) {
+          std::string valid;
+          for (const std::string& n : sched::known_policies()) {
+            if (!valid.empty()) valid += ", ";
+            valid += n;
+          }
+          return "tlb.sched.policy: unknown policy '" + it->second +
+                 "'; valid values: " + valid;
+        }
+        set_sched_policy(it->second);
+        return "";
+      });
 }
 
 void ClusterRuntime::register_metrics() {
@@ -296,7 +359,8 @@ RunResult ClusterRuntime::finalize() {
   result_.retransmissions =
       app_comm_->retransmissions() + ctrl_comm_->retransmissions();
   result_.sched_policy = scheduler_->name();
-  result_.sched = scheduler_->stats();
+  result_.sched = sched_retired_;  // policies retired by mid-run hot-swaps
+  result_.sched.merge(scheduler_->stats());
   result_.events_fired = engine_.events_fired();
 
   // Snapshot the remaining subsystem statistics into the registry so one
@@ -319,6 +383,15 @@ RunResult ClusterRuntime::finalize() {
       .inc(result_.sched.offloads_steered);
   metrics_.counter("sched.offloads_suppressed")
       .inc(result_.sched.offloads_suppressed);
+  metrics_.counter("sched.switches").inc(result_.sched.switches);
+  metrics_.counter("sched.state_touched").inc(result_.sched.state_touched);
+  metrics_.counter("sched.policy_swaps").inc(sched_swaps_);
+  if (const auto* h =
+          dynamic_cast<const hier::HierScheduler*>(scheduler_.get())) {
+    metrics_.counter("hier.summary_refreshes").inc(h->summary_refreshes());
+    metrics_.gauge("hier.masters")
+        .set(static_cast<double>(h->balancer().master_count()));
+  }
   metrics_.counter("sim.events_fired").inc(result_.events_fired);
   if (fabric_ != nullptr) {
     metrics_.counter("net.flows_started").inc(fabric_->flows_started());

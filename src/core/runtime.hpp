@@ -49,6 +49,7 @@
 #include "dlb/lewi.hpp"
 #include "dlb/talp.hpp"
 #include "elastic/controller.hpp"
+#include "elastic/xds.hpp"
 #include "graph/expander.hpp"
 #include "nanos/data_location.hpp"
 #include "nanos/dependency_graph.hpp"
@@ -121,9 +122,37 @@ class ClusterRuntime : private sched::RuntimeView {
   [[nodiscard]] const nanos::TaskPool& tasks() const { return pool_; }
 
   /// The active scheduling policy (tlb::sched; never null after
-  /// construction). Post-run inspection of per-policy counters.
+  /// construction). Post-run inspection of per-policy counters — note
+  /// that after a mid-run hot-swap (set_sched_policy) this is only the
+  /// *current* policy; RunResult::sched accumulates across swaps.
   [[nodiscard]] const sched::Scheduler& scheduler() const {
     return *scheduler_;
+  }
+
+  /// Hot-swaps the victim-selection policy mid-run, without a restart:
+  /// the replacement is constructed first (an unknown name throws
+  /// std::invalid_argument and the running policy is untouched), the
+  /// retiring policy's counters are folded into the run-level
+  /// accumulator, and every later pick_worker goes through the new
+  /// policy. "hier" swaps in the two-level scheduler with
+  /// RuntimeConfig::hier's tuning. In-flight assignments are unaffected
+  /// (policies only choose victims; the offload mechanics live in the
+  /// runtime).
+  void set_sched_policy(const std::string& name);
+
+  /// Number of successful set_sched_policy swaps so far.
+  [[nodiscard]] std::uint64_t sched_policy_swaps() const {
+    return sched_swaps_;
+  }
+
+  /// xDS-style control plane (tlb::elastic): push versioned typed
+  /// resources; invalid payloads are NACKed with the previous resource
+  /// re-applied, so a bad push can never wedge the run. Subscribed types:
+  ///   - "tlb.sched.policy" (payload "policy=<name>") — validates the
+  ///     name against the sched registry, then set_sched_policy().
+  [[nodiscard]] elastic::ControlPlane& control_plane() { return control_; }
+  [[nodiscard]] const elastic::ControlPlane& control_plane() const {
+    return control_;
   }
 
   // --- observability (tlb::obs) ---------------------------------------------
@@ -423,6 +452,15 @@ class ClusterRuntime : private sched::RuntimeView {
   void schedule_elastic_tick();
   void elastic_tick();
 
+  // Scheduler construction / hot-swap (tlb::sched + tlb::hier).
+  /// Builds the policy named `name` over this runtime ("hier" gets
+  /// RuntimeConfig::hier's tuning; everything else resolves through the
+  /// sched registry). Throws std::invalid_argument on an unknown name.
+  [[nodiscard]] std::unique_ptr<sched::Scheduler> make_policy(
+      const std::string& name);
+  /// Registers the control-plane appliers (constructor tail).
+  void subscribe_control_types();
+
   // DROM policy loop (§5.4).
   void schedule_policy_tick();
   void policy_tick();
@@ -486,6 +524,12 @@ class ClusterRuntime : private sched::RuntimeView {
   /// the policy registry. Declared after the state it reads through the
   /// RuntimeView window.
   std::unique_ptr<sched::Scheduler> scheduler_;
+  /// Counters of schedulers retired by set_sched_policy; finalize() folds
+  /// the live policy's stats on top for RunResult::sched.
+  sched::SchedStats sched_retired_;
+  std::uint64_t sched_swaps_ = 0;
+  /// Hot-swap control plane (versioned typed resources, ACK/NACK).
+  elastic::ControlPlane control_;
   std::map<nanos::TaskId, PendingData> pending_data_;
   nanos::TaskPool pool_;
   std::vector<ApprankState> appranks_;

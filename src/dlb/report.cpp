@@ -64,6 +64,20 @@ std::string sched_report(const std::string& policy,
                 static_cast<unsigned long long>(stats.offloads_suppressed),
                 pct(stats.offloads_suppressed));
   out << buf;
+  if (stats.switches > 0) {
+    std::snprintf(buf, sizeof(buf), "%-32s %14llu\n", "policy mode switches",
+                  static_cast<unsigned long long>(stats.switches));
+    out << buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%-32s %14llu\n", "state probes",
+                static_cast<unsigned long long>(stats.state_touched));
+  out << buf;
+  if (stats.decisions > 0) {
+    std::snprintf(buf, sizeof(buf), "%-32s %14.1f\n", "state probes / decision",
+                  static_cast<double>(stats.state_touched) /
+                      static_cast<double>(stats.decisions));
+    out << buf;
+  }
   return out.str();
 }
 

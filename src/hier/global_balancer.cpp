@@ -1,0 +1,115 @@
+#include "hier/global_balancer.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace tlb::hier {
+
+LocalMaster& GlobalBalancer::master(int node) {
+  while (masters_.size() <= static_cast<std::size_t>(node)) {
+    masters_.emplace_back(static_cast<int>(masters_.size()));
+  }
+  return masters_[static_cast<std::size_t>(node)];
+}
+
+std::uint64_t GlobalBalancer::summary_refreshes() const {
+  std::uint64_t total = 0;
+  for (const LocalMaster& m : masters_) total += m.refreshes();
+  return total;
+}
+
+const LocalMaster& GlobalBalancer::consult(int node,
+                                           sched::SchedStats& stats) {
+  LocalMaster& m = master(node);
+  if (!m.fresh(view_.now(), hconf_.summary_period)) {
+    stats.state_touched += m.refresh(view_, view_.now());
+  }
+  stats.state_touched += 1;  // the summary read itself
+  return m;
+}
+
+int GlobalBalancer::slack_of(const NodeSummary& s, core::WorkerId w) {
+  for (const WorkerSlack& ws : s.workers) {
+    if (ws.worker == w) return ws.slack;
+  }
+  return 0;  // worker joined after the last refresh: no promised headroom
+}
+
+sched::Decision GlobalBalancer::pick(const nanos::Task& task,
+                                     sched::SchedStats& stats) {
+  ++stats.decisions;
+  const core::Topology& topo = view_.topology();
+  const core::WorkerId home = topo.home_worker(task.apprank);
+  const int home_node = topo.home_node(task.apprank);
+
+  // Level 1: the home node's master. Home placement needs no balancing —
+  // any slack there wins (the flat locality rule agrees: resident bytes
+  // are at home until tasks get offloaded).
+  const LocalMaster& hm = consult(home_node, stats);
+  if (view_.usable(home) && slack_of(hm.summary(), home) > 0) {
+    master(home_node).note_placed(home);
+    return {home, sched::DecisionKind::Baseline};
+  }
+  const double home_wait =
+      hm.wait_estimate(view_.now(), sconf_.wait_halflife);
+
+  // Level 2: balance across the apprank's helper nodes by summary. The
+  // candidate set is the expander adjacency (O(degree) nodes), each
+  // consulted through its compact summary.
+  const net::LinkLoadView* net = view_.link_load();
+  core::WorkerId best = -1;
+  double best_ratio = std::numeric_limits<double>::infinity();
+  bool considered = false;
+  bool vetoed = false;
+  for (const core::WorkerId w : topo.workers_of_apprank(task.apprank)) {
+    if (w == home) continue;
+    const int node = topo.worker(w).node;
+    const LocalMaster& m = consult(node, stats);
+    if (!view_.usable(w)) continue;  // live O(1) check beats any summary
+    if (slack_of(m.summary(), w) <= 0) continue;
+    considered = true;
+    // Veto 1: the path from home is saturated — streaming input bytes
+    // into it deepens the queue (same rule as the congestion policy).
+    if (net != nullptr && sconf_.congestion_avoid > 0.0 &&
+        net->path_load(home_node, node) >= sconf_.congestion_avoid) {
+      vetoed = true;
+      continue;
+    }
+    // Veto 2: tasks queue on that node far longer than at home — the
+    // offload moves the wait instead of removing it (per-helper wait
+    // estimate, decayed so a drained node becomes a candidate again).
+    if (sconf_.wait_helper_factor > 0.0 &&
+        m.wait_estimate(view_.now(), sconf_.wait_halflife) >
+            sconf_.wait_helper_factor *
+                std::max(home_wait, sconf_.wait_offload_min)) {
+      vetoed = true;
+      continue;
+    }
+    const double ratio = m.summary().load_ratio;
+    if (ratio < best_ratio) {
+      best_ratio = ratio;
+      best = w;
+    }
+  }
+  if (considered) ++stats.offloads_considered;
+  if (best >= 0) {
+    master(topo.worker(best).node).note_placed(best);
+    ++stats.offloads_steered;
+    return {best, sched::DecisionKind::Steered};
+  }
+  if (vetoed) {
+    // Capacity existed but every candidate was vetoed by feedback: hold
+    // the task centrally, an idle worker will steal it.
+    ++stats.offloads_suppressed;
+    return {-1, sched::DecisionKind::Suppressed};
+  }
+  return {-1, sched::DecisionKind::Baseline};  // cluster-wide saturation
+}
+
+void GlobalBalancer::on_task_started(core::WorkerId w, sim::SimTime wait) {
+  const int node = view_.topology().worker(w).node;
+  master(node).observe_wait(wait, view_.now(), sconf_.wait_smoothing,
+                            sconf_.wait_halflife);
+}
+
+}  // namespace tlb::hier

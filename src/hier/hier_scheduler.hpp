@@ -1,0 +1,66 @@
+// "hier" — hierarchical two-level victim selection (tlb::hier).
+//
+// The flat policies in tlb::sched probe global state on every decision:
+// the in-flight throttle alone walks the node's core registry per
+// candidate, so one decision costs O(cores) and scheduling cost grows
+// linearly with the cluster. This subsystem splits the decision across
+// two levels (Eleliemy & Ciorba, two-level MPI+MPI self-scheduling):
+// per-node LocalMasters condense their workers into compact NodeSummaries
+// (slack, load ratio, decayed queue-wait estimate), and a GlobalBalancer
+// decides from summaries only — O(adjacent nodes) summary reads per
+// decision, with the per-worker refresh walk amortized over
+// HierConfig::summary_period.
+//
+// Divergence from the flat baseline, by design: placement is balance- and
+// headroom-driven, not residency-driven (no per-decision resident-bytes
+// scan), so Steered counts every remote placement and schedules are NOT
+// comparable fingerprint-wise to "locality". The disabled path
+// (HierConfig::enabled = false, policy != "hier") constructs nothing from
+// this library and stays bit-identical.
+//
+// Layering: tlb_hier links tlb_sched (Scheduler base, registry), never
+// the other way. The "hier" registry name is an *extension*, added by
+// register_policies() — call it before sched::make_scheduler can resolve
+// the name (ClusterRuntime does this in its constructor).
+#pragma once
+
+#include <cstdint>
+
+#include "hier/config.hpp"
+#include "hier/global_balancer.hpp"
+#include "sched/scheduler.hpp"
+
+namespace tlb::hier {
+
+class HierScheduler final : public sched::Scheduler {
+ public:
+  HierScheduler(const HierConfig& hconf, const sched::SchedConfig& sconf,
+                const sched::RuntimeView& view)
+      : Scheduler(view), balancer_(hconf, sconf, view) {}
+
+  [[nodiscard]] const char* name() const override { return "hier"; }
+  [[nodiscard]] sched::Decision pick(const nanos::Task& task) override {
+    return balancer_.pick(task, stats_);
+  }
+  void on_task_started(const nanos::Task& task, core::WorkerId w,
+                       sim::SimTime wait) override {
+    (void)task;
+    balancer_.on_task_started(w, wait);
+  }
+
+  [[nodiscard]] const GlobalBalancer& balancer() const { return balancer_; }
+  [[nodiscard]] std::uint64_t summary_refreshes() const {
+    return balancer_.summary_refreshes();
+  }
+
+ private:
+  GlobalBalancer balancer_;
+};
+
+/// Adds "hier" to the sched policy registry (with a default HierConfig —
+/// the runtime builds HierScheduler directly when RuntimeConfig::hier
+/// carries tuning). Idempotent: safe to call from every ClusterRuntime /
+/// JobManager construction.
+void register_policies();
+
+}  // namespace tlb::hier

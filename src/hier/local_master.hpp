@@ -1,0 +1,64 @@
+// Per-node local master: the lower level of the two-level scheduler.
+//
+// One LocalMaster per node owns that node's NodeSummary. It rebuilds the
+// summary from live runtime state on demand (the expensive per-worker /
+// per-core walk, paid once per summary period instead of once per
+// decision) and keeps a decayed EWMA of the queue waits tasks observed on
+// its node — the per-helper wait signal the global balancer vetoes
+// pointless offloads with.
+#pragma once
+
+#include <cstdint>
+
+#include "hier/summary.hpp"
+#include "sched/ewma.hpp"
+#include "sched/scheduler.hpp"
+
+namespace tlb::hier {
+
+class LocalMaster {
+ public:
+  explicit LocalMaster(int node) { summary_.node = node; }
+
+  [[nodiscard]] const NodeSummary& summary() const { return summary_; }
+  [[nodiscard]] int node() const { return summary_.node; }
+  [[nodiscard]] std::uint64_t refreshes() const { return refreshes_; }
+
+  /// True while the summary is younger than `period` (a never-refreshed
+  /// summary is always stale).
+  [[nodiscard]] bool fresh(sim::SimTime now, sim::SimTime period) const {
+    return summary_.refreshed_at >= 0.0 &&
+           now - summary_.refreshed_at < period;
+  }
+
+  /// Rebuilds the summary from the live runtime state. Returns the number
+  /// of state probes the walk performed (per worker: in-flight read plus
+  /// the owned-core registry scan), charged to SchedStats::state_touched
+  /// by the caller — this is the amortized cost flat policies pay on
+  /// every decision.
+  std::uint64_t refresh(const sched::RuntimeView& view, sim::SimTime now);
+
+  /// Optimistic accounting of a placement the balancer just made on `w`:
+  /// the worker's slack and the node aggregate drop by one so the summary
+  /// never over-promises capacity between refreshes.
+  void note_placed(core::WorkerId w);
+
+  /// Folds one observed queue wait of a task that started on this node
+  /// into the decayed per-node estimate.
+  void observe_wait(double wait, sim::SimTime now, double smoothing,
+                    double half_life) {
+    wait_ewma_.observe(wait, now, smoothing, half_life);
+  }
+  /// Smoothed queue wait on this node (seconds), decayed to `now`.
+  [[nodiscard]] double wait_estimate(sim::SimTime now,
+                                     double half_life) const {
+    return wait_ewma_.read(now, half_life);
+  }
+
+ private:
+  NodeSummary summary_;
+  sched::DecayEwma wait_ewma_;
+  std::uint64_t refreshes_ = 0;
+};
+
+}  // namespace tlb::hier

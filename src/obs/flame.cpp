@@ -1,0 +1,79 @@
+#include "obs/flame.hpp"
+
+#include <cmath>
+
+namespace tlb::obs {
+
+namespace {
+
+/// Simulated seconds -> integer microseconds (round half up; negative
+/// durations from unobserved boundaries are clamped out by the caller).
+std::uint64_t to_us(double seconds) {
+  return static_cast<std::uint64_t>(std::llround(seconds * 1e6));
+}
+
+void add(std::map<std::string, std::uint64_t>& out, const std::string& stack,
+         double seconds) {
+  if (seconds <= 0.0) return;
+  const std::uint64_t us = to_us(seconds);
+  if (us == 0) return;
+  out[stack] += us;
+}
+
+}  // namespace
+
+std::map<std::string, std::uint64_t> collapsed_stacks(
+    const SpanCollector& spans) {
+  std::map<std::string, std::uint64_t> out;
+  for (const SpanCollector::TaskSpan& s : spans.spans()) {
+    if (s.attempts.empty()) continue;
+    const std::string base =
+        "apprank" + std::to_string(s.apprank) + ";";
+    double prev_end = s.ready_at;  // queue time starts at readiness
+    for (std::size_t i = 0; i < s.attempts.size(); ++i) {
+      const SpanCollector::Attempt& a = s.attempts[i];
+      if (a.scheduled_at < 0.0 || a.node < 0) continue;
+      const std::string stack = "node" + std::to_string(a.node) + ";" +
+                                base + (a.offloaded ? "offload;" : "home;");
+      if (prev_end >= 0.0) add(out, stack + "queue", a.scheduled_at - prev_end);
+      if (a.rescued) {
+        // The whole attempt was sunk: charge scheduled -> the next
+        // attempt's scheduling (its rescue re-queued the task).
+        const double next_sched = i + 1 < s.attempts.size()
+                                      ? s.attempts[i + 1].scheduled_at
+                                      : s.done_at;
+        if (next_sched >= 0.0) {
+          add(out, stack + "rescued", next_sched - a.scheduled_at);
+        }
+        prev_end = -1.0;  // queue time already charged to "rescued"
+        continue;
+      }
+      const double work_start =
+          a.transfer_start >= 0.0 ? a.transfer_start : a.exec_start;
+      if (work_start >= 0.0) {
+        add(out, stack + "dispatch", work_start - a.scheduled_at);
+      }
+      if (a.transfer_start >= 0.0 && a.transfer_end >= 0.0) {
+        add(out, stack + "transfer", a.transfer_end - a.transfer_start);
+      }
+      if (a.exec_start >= 0.0 && a.exec_end >= 0.0) {
+        add(out, stack + "exec", a.exec_end - a.exec_start);
+      }
+      prev_end = -1.0;
+    }
+  }
+  return out;
+}
+
+std::string collapsed_stacks_text(const SpanCollector& spans) {
+  std::string out;
+  for (const auto& [stack, us] : collapsed_stacks(spans)) {
+    out += stack;
+    out += ' ';
+    out += std::to_string(us);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace tlb::obs

@@ -1,0 +1,49 @@
+// Flame-graph export of task spans (tlb::obs).
+//
+// Renders a SpanCollector as collapsed-stack text, the line-oriented
+// format Brendan Gregg's flamegraph.pl and speedscope.app consume
+// directly: one "frame;frame;frame value" line per distinct stack, value
+// aggregated across every task that contributed to it. Instead of call
+// stacks the frames encode *where simulated time went*:
+//
+//   node<N>;apprank<A>;<placement>;<phase>  <microseconds>
+//
+//   placement:  "home" (ran in the apprank's own process) or "offload"
+//               (ran on a helper rank)
+//   phase:      "queue"     ready -> scheduled (victim selection + central
+//                           queue time)
+//               "dispatch"  scheduled -> transfer/exec start (offload
+//                           control message, core claim)
+//               "transfer"  eager input transfer in flight
+//               "exec"      busy compute
+//               "rescued"   time sunk into attempts voided by a crash or
+//                           revoked lease (scheduled -> rescue)
+//
+// A wide "exec" flame over one node is load imbalance; wide "transfer"
+// frames under "offload" are the interconnect bill; "rescued" frames are
+// pure resilience overhead. Aggregation is deterministic: stacks are
+// emitted in lexicographic order with integer microsecond values, so the
+// same run always produces byte-identical text.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/span.hpp"
+
+namespace tlb::obs {
+
+/// Aggregates every task span into collapsed stacks. Keys are complete
+/// stacks ("node0;apprank0;home;exec"), values are summed microseconds of
+/// simulated time. Phases whose boundaries were never observed (e.g. a
+/// task created but not finished at collection time) contribute nothing.
+[[nodiscard]] std::map<std::string, std::uint64_t> collapsed_stacks(
+    const SpanCollector& spans);
+
+/// Serializes collapsed_stacks() as flamegraph.pl / speedscope input:
+/// one "stack value" line per entry, lexicographic stack order, trailing
+/// newline on every line.
+[[nodiscard]] std::string collapsed_stacks_text(const SpanCollector& spans);
+
+}  // namespace tlb::obs

@@ -35,11 +35,11 @@ void SpanCollector::task_ready(nanos::TaskId id, sim::SimTime t) {
 
 void SpanCollector::task_scheduled(nanos::TaskId id, int worker, int node,
                                    bool offloaded, sim::SimTime t) {
-  (void)offloaded;
   TaskSpan& s = at(id);
   Attempt a;
   a.worker = worker;
   a.node = node;
+  a.offloaded = offloaded;
   a.scheduled_at = t;
   s.attempts.push_back(a);
 }

@@ -77,7 +77,8 @@ class SpanCollector final : public SpanSink {
     sim::SimTime exec_start = -1.0;
     sim::SimTime exec_end = -1.0;
     std::uint64_t transfer_bytes = 0;
-    bool rescued = false;  ///< voided by a crash / revoked lease
+    bool offloaded = false;  ///< scheduled off the task's home node
+    bool rescued = false;    ///< voided by a crash / revoked lease
   };
   struct TaskSpan {
     nanos::TaskId id = nanos::kNoTask;

@@ -6,6 +6,7 @@
 // a typo never silently falls back to the default.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "sim/time.hpp"
@@ -14,8 +15,11 @@ namespace tlb::sched {
 
 struct SchedConfig {
   /// Policy name: "locality" (paper §5.5, the default), "congestion"
-  /// (locality + fabric link-load + per-helper FCT feedback), or
-  /// "waittime" (Samfass-style offload throttling on observed waits).
+  /// (locality + fabric link-load + per-helper FCT feedback), "waittime"
+  /// (Samfass-style offload throttling on observed waits), "adaptive"
+  /// (online portfolio selection among the three with hysteresis), or
+  /// "hier" (two-level scheduling over per-node summaries, tlb::hier —
+  /// equivalent to setting RuntimeConfig::hier.enabled).
   std::string policy = "locality";
 
   // --- congestion policy tuning ----------------------------------------------
@@ -46,6 +50,55 @@ struct SchedConfig {
   /// an offload transfer (Samfass et al.: offload on observed wait times,
   /// not static scores).
   sim::SimTime wait_offload_min = 0.005;
+  /// Half-life (seconds) of the wait estimates between observations: an
+  /// estimate read t seconds after its last sample is scaled by
+  /// 2^-(t / half_life), so a helper that went idle decays back towards
+  /// "no observed waiting" instead of keeping its last-seen value forever.
+  /// <= 0 disables the decay (legacy behaviour).
+  double wait_halflife = 0.5;
+  /// Per-helper throttle: a remote offload whose target helper's own
+  /// smoothed queue wait exceeds wait_helper_factor x the apprank's home
+  /// wait is suppressed — tasks queue there longer than at home, so the
+  /// transfer buys nothing. Helper waits are observed end-to-end (they
+  /// include the offload input transfer), so the factor leaves headroom:
+  /// only a helper whose waits dwarf the home wait is vetoed.
+  /// 0 disables the per-helper veto.
+  double wait_helper_factor = 4.0;
+
+  // --- adaptive portfolio tuning ----------------------------------------------
+  // The portfolio is explore/exploit on *measured* waits: probe each mode
+  // for a window of decisions, elect the best-measured one, exploit it
+  // until the signals say the regime changed (see sched/policies.hpp).
+
+  /// Probe window length in simulated seconds: each mode is measured
+  /// over windows of this length during an explore cycle, and the same
+  /// window paces the rolling drift check during exploit. Time-based on
+  /// purpose — decisions arrive in same-instant bursts (a scheduler
+  /// sweep places a whole iteration's ready tasks at one sim time), so a
+  /// decision-counted window can close with zero elapsed time and
+  /// measure nothing.
+  sim::SimTime adaptive_window = 0.1;
+  /// Election margin (relative dead band): a challenger displaces the
+  /// incumbent mode only if its measured task-start rate exceeds
+  /// (1 + adaptive_margin) x the incumbent's. Equivalent measurements
+  /// keep the incumbent — no flapping between modes that tie.
+  double adaptive_margin = 0.05;
+  /// Fabric-pressure dead band (hottest candidate-path utilization): the
+  /// latched pressure regime moves only when a sample crosses
+  /// >= adaptive_pressure_high or <= adaptive_pressure_low. A regime
+  /// crossing to the opposite side of the band from where the incumbent
+  /// was elected triggers re-exploration; oscillation inside the band
+  /// never does.
+  double adaptive_pressure_high = 0.50;
+  double adaptive_pressure_low = 0.25;
+  /// Wait-drift trigger: during exploit, a rolling window whose mean
+  /// observed wait exceeds adaptive_wait_exit x the elected mode's
+  /// measured wait (floored at wait_offload_min) triggers re-exploration.
+  double adaptive_wait_exit = 2.0;
+  /// Minimum exploit length in probe windows before any re-explore
+  /// trigger is honoured (dwell): even a genuine regime change cannot
+  /// flip the portfolio back immediately.
+  std::uint64_t adaptive_dwell = 16;
 };
 
 }  // namespace tlb::sched

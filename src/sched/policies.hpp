@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "sched/ewma.hpp"
 #include "sched/scheduler.hpp"
 
 namespace tlb::sched {
@@ -49,12 +50,17 @@ class CongestionScheduler final : public Scheduler {
   std::vector<double> fct_ewma_;  ///< per worker (lazily grown on rewires)
 };
 
-/// "waittime" — offload aggressiveness throttled per apprank by observed
-/// task waits (Samfass et al., "Lightweight Task Offloading Exploiting
-/// MPI Wait Times"): while the apprank's smoothed ready-to-start wait is
-/// below SchedConfig::wait_offload_min its tasks barely queue at home, so
-/// a remote placement would pay transfer cost for nothing and the offload
-/// is suppressed. Once waits build up the locality rule resumes.
+/// "waittime" — offload aggressiveness throttled by observed task waits
+/// (Samfass et al., "Lightweight Task Offloading Exploiting MPI Wait
+/// Times"): while the apprank's smoothed ready-to-start wait is below
+/// SchedConfig::wait_offload_min its tasks barely queue at home, so a
+/// remote placement would pay transfer cost for nothing and the offload
+/// is suppressed. Once waits build up the locality rule resumes — unless
+/// the chosen helper's *own* smoothed queue wait exceeds the home wait
+/// (wait_helper_factor), in which case the offload is equally pointless
+/// and is suppressed too. All estimates decay with wait_halflife between
+/// observations so an idle-then-bursty worker is never judged by stale
+/// samples.
 class WaittimeScheduler final : public Scheduler {
  public:
   WaittimeScheduler(const SchedConfig& config, const RuntimeView& view)
@@ -64,16 +70,146 @@ class WaittimeScheduler final : public Scheduler {
   void on_task_started(const nanos::Task& task, core::WorkerId w,
                        sim::SimTime wait) override;
 
-  /// Smoothed ready-to-start wait of the apprank's tasks (seconds).
+  /// Smoothed ready-to-start wait of the apprank's tasks (seconds),
+  /// decayed to the runtime's current clock.
   [[nodiscard]] double wait_estimate(int apprank) const {
     return static_cast<std::size_t>(apprank) < wait_ewma_.size()
-               ? wait_ewma_[static_cast<std::size_t>(apprank)]
+               ? wait_ewma_[static_cast<std::size_t>(apprank)].read(
+                     view_.now(), config_.wait_halflife)
+               : 0.0;
+  }
+  /// Smoothed queue wait of tasks that started on worker `w` (seconds),
+  /// decayed to the runtime's current clock.
+  [[nodiscard]] double helper_wait_estimate(core::WorkerId w) const {
+    return static_cast<std::size_t>(w) < helper_ewma_.size()
+               ? helper_ewma_[static_cast<std::size_t>(w)].read(
+                     view_.now(), config_.wait_halflife)
                : 0.0;
   }
 
  private:
   SchedConfig config_;
-  std::vector<double> wait_ewma_;  ///< per apprank
+  std::vector<DecayEwma> wait_ewma_;    ///< per apprank
+  std::vector<DecayEwma> helper_ewma_;  ///< per worker (grown on rewires)
+};
+
+/// "adaptive" — online portfolio selection over the fixed policies
+/// (LB4OMP-style: no single technique wins every regime, so measure the
+/// run and commit to what works). The portfolio holds one instance of
+/// each fixed policy and delegates every victim selection to the active
+/// *mode*. Selection is explore/exploit on measured throughput:
+///   - explore: each mode is probed over one window of at least
+///     SchedConfig::adaptive_window simulated seconds while its
+///     task-start rate (starts per simulated second) and mean observed
+///     ready-to-start wait are recorded. In barrier-paced programs
+///     decisions arrive in same-instant bursts, so a window stretches to
+///     the burst-to-burst interval: each mode places one whole iteration
+///     and is scored on the drained result. Throughput is
+///     the election reward because it tracks the makespan objective for
+///     *every* mode — waits cannot: suppression (waittime) deliberately
+///     trades longer individual waits for fewer pointless transfers;
+///   - elect: the highest-throughput mode wins, but the incumbent is
+///     displaced only if the challenger beats it by adaptive_margin
+///     (a relative dead band — hysteresis #1);
+///   - exploit: the elected mode runs for at least adaptive_dwell probe
+///     windows (hysteresis #2) and then indefinitely, until a re-explore
+///     trigger fires: the rolling observed wait drifts past
+///     adaptive_wait_exit x the wait measured at election, or the
+///     fabric-pressure regime crosses to the opposite side of the
+///     [adaptive_pressure_low, adaptive_pressure_high] dead band
+///     (hysteresis #3 — oscillation inside the band never re-triggers).
+/// All feedback hooks are forwarded to every sub-policy so their
+/// estimators stay warm across switches.
+class AdaptiveScheduler : public Scheduler {
+ public:
+  enum class Mode { Locality = 0, Congestion = 1, Waittime = 2 };
+
+  AdaptiveScheduler(const SchedConfig& config, const RuntimeView& view)
+      : Scheduler(view),
+        config_(config),
+        locality_(view),
+        congestion_(config, view),
+        waittime_(config, view) {}
+
+  [[nodiscard]] const char* name() const override { return "adaptive"; }
+  [[nodiscard]] Decision pick(const nanos::Task& task) override;
+  void on_task_started(const nanos::Task& task, core::WorkerId w,
+                       sim::SimTime wait) override;
+  void on_inputs_landed(core::WorkerId w, sim::SimTime fct) override;
+
+  /// Merged view: the sub-policies' counters (each decision was delegated
+  /// to exactly one of them) plus this portfolio's switch count and
+  /// signal-probe costs.
+  [[nodiscard]] const SchedStats& stats() const override;
+
+  [[nodiscard]] Mode mode() const { return mode_; }
+  /// True while a probe cycle is measuring the modes (explore phase).
+  [[nodiscard]] bool exploring() const { return exploring_; }
+  /// The last elected (exploited) mode.
+  [[nodiscard]] Mode incumbent() const { return incumbent_; }
+  [[nodiscard]] std::uint64_t switches() const { return switches_; }
+  /// Task-start rate measured during `m`'s last probe window
+  /// (starts per simulated second; 0 until measured).
+  [[nodiscard]] double probe_rate(Mode m) const {
+    return probe_rate_[static_cast<std::size_t>(m)];
+  }
+  /// Mean observed wait measured during `m`'s last probe window (seconds).
+  [[nodiscard]] double probe_wait(Mode m) const {
+    return probe_wait_[static_cast<std::size_t>(m)];
+  }
+  /// Victim selections delegated while in `m` (portfolio mix).
+  [[nodiscard]] std::uint64_t decisions_in(Mode m) const {
+    return mode_decisions_[static_cast<std::size_t>(m)];
+  }
+  [[nodiscard]] static const char* to_string(Mode m) {
+    switch (m) {
+      case Mode::Locality: return "locality";
+      case Mode::Congestion: return "congestion";
+      case Mode::Waittime: return "waittime";
+    }
+    return "?";
+  }
+
+ protected:
+  /// Hottest current path utilization from the apprank's home node to any
+  /// of its usable remote candidates (0 without a fabric). Virtual so the
+  /// explore/exploit logic is unit-testable with an injected signal.
+  [[nodiscard]] virtual double sampled_pressure(const nanos::Task& task);
+
+ private:
+  void step(const nanos::Task& task);
+  void elect();
+  void set_mode(Mode m);
+  [[nodiscard]] Scheduler& active() {
+    switch (mode_) {
+      case Mode::Congestion: return congestion_;
+      case Mode::Waittime: return waittime_;
+      case Mode::Locality: break;
+    }
+    return locality_;
+  }
+
+  SchedConfig config_;
+  LocalityScheduler locality_;
+  CongestionScheduler congestion_;
+  WaittimeScheduler waittime_;
+  Mode mode_ = Mode::Locality;       ///< currently delegated-to mode
+  Mode incumbent_ = Mode::Locality;  ///< last elected mode
+  bool exploring_ = true;            ///< probe cycle in progress
+  int probe_index_ = 0;              ///< position in the probe cycle (0..2)
+  sim::SimTime window_start_ = 0.0;     ///< clock when the window opened
+  double window_wait_sum_ = 0.0;        ///< waits observed in the window
+  std::uint64_t window_waits_ = 0;      ///< = task starts in the window
+  double probe_rate_[3] = {0.0, 0.0, 0.0};  ///< starts/sim-second per mode
+  double probe_wait_[3] = {0.0, 0.0, 0.0};  ///< measured mean wait per mode
+  double elected_wait_ = 0.0;       ///< incumbent's wait at election time
+  std::uint64_t exploit_windows_ = 0;  ///< windows since the election
+  int regime_ = 0;          ///< -1 below low, +1 above high (latched)
+  int elected_regime_ = 0;  ///< pressure regime at election time
+  std::uint64_t switches_ = 0;
+  std::uint64_t probe_touched_ = 0;  ///< signal probes (cost accounting)
+  std::uint64_t mode_decisions_[3] = {0, 0, 0};
+  mutable SchedStats merged_;
 };
 
 }  // namespace tlb::sched

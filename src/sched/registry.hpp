@@ -3,6 +3,16 @@
 // RuntimeConfig::sched.policy selects the scheduling policy by name at
 // ClusterRuntime construction. Unknown names throw std::invalid_argument
 // with the list of valid values — never a silent fallback to the default.
+//
+// Two kinds of entries coexist:
+//   - built-ins ("locality", "congestion", "waittime", "adaptive") are
+//     compiled into this library and always present;
+//   - extensions are added at runtime through register_policy() by
+//     higher layers that cannot be linked from here (tlb::hier registers
+//     "hier" — tlb_hier links tlb_sched, so the dependency must point
+//     upward). Registering a name twice — including shadowing a built-in —
+//     throws std::invalid_argument: a silent override would make the
+//     selected policy depend on link/registration order.
 #pragma once
 
 #include <memory>
@@ -14,9 +24,21 @@
 
 namespace tlb::sched {
 
+/// Factory signature shared by built-ins and extensions. The returned
+/// scheduler reads `view` for its whole lifetime.
+using PolicyFactory = std::unique_ptr<Scheduler> (*)(const SchedConfig&,
+                                                     const RuntimeView&);
+
 /// Registered policy names, in registration order ("locality" first; it
-/// is the default).
+/// is the default; extensions follow the built-ins).
 [[nodiscard]] std::vector<std::string> known_policies();
+
+/// True when `name` resolves to a built-in or registered extension.
+[[nodiscard]] bool policy_registered(const std::string& name);
+
+/// Adds an extension policy. Throws std::invalid_argument when `name` is
+/// already taken (built-in or extension) or `make` is null.
+void register_policy(const std::string& name, PolicyFactory make);
 
 /// Constructs the policy named by `config.policy` over `view` (which must
 /// outlive the scheduler). Throws std::invalid_argument naming the bad

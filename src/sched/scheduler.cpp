@@ -17,10 +17,13 @@ core::WorkerId Scheduler::locality_pick(const nanos::Task& task) const {
   if (ws.size() > 1 && !task.accesses.empty()) {
     std::uint64_t best_bytes =
         loc.resident_input_bytes(task.accesses, topo.worker(best).node);
+    stats_.state_touched += 1;
     for (std::size_t j = 1; j < ws.size(); ++j) {
+      stats_.state_touched += 1;
       if (!view_.usable(ws[j])) continue;
       const std::uint64_t b =
           loc.resident_input_bytes(task.accesses, topo.worker(ws[j]).node);
+      stats_.state_touched += 1;
       if (b > best_bytes) {
         best = ws[j];
         best_bytes = b;
@@ -33,9 +36,11 @@ core::WorkerId Scheduler::locality_pick(const nanos::Task& task) const {
   core::WorkerId alt = -1;
   double best_ratio = std::numeric_limits<double>::infinity();
   for (core::WorkerId w : ws) {
+    stats_.state_touched += 1;
     if (w == best || !view_.usable(w) || !under_threshold(w)) {
       continue;
     }
+    stats_.state_touched += 2;
     const double ratio = static_cast<double>(view_.inflight(w)) /
                          std::max(1, view_.owned_cores(w));
     if (ratio < best_ratio) {
@@ -50,6 +55,7 @@ bool Scheduler::has_remote_candidate(const nanos::Task& task) const {
   const core::Topology& topo = view_.topology();
   const core::WorkerId home = topo.home_worker(task.apprank);
   for (core::WorkerId w : topo.workers_of_apprank(task.apprank)) {
+    stats_.state_touched += 1;
     if (w != home && view_.usable(w) && under_threshold(w)) return true;
   }
   return false;

@@ -105,7 +105,9 @@ class Scheduler {
     (void)fct;
   }
 
-  [[nodiscard]] const SchedStats& stats() const { return stats_; }
+  /// Per-policy counters. Virtual so composite policies (the "adaptive"
+  /// portfolio) can present a merged view over their sub-policies.
+  [[nodiscard]] virtual const SchedStats& stats() const { return stats_; }
 
  protected:
   /// The legacy §5.5 rule, verbatim: locality-best node (most resident
@@ -115,9 +117,14 @@ class Scheduler {
   /// fallback when their feedback signal is absent.
   [[nodiscard]] core::WorkerId locality_pick(const nanos::Task& task) const;
 
-  /// The two-tasks-per-owned-core throttle (§5.5).
+  /// The two-tasks-per-owned-core throttle (§5.5). Charges the probe to
+  /// SchedStats::state_touched: one for the in-flight read plus one per
+  /// owned core the underlying registry scan walks (the O(cores) global
+  /// state the hierarchical scheduler's summaries amortize away).
   [[nodiscard]] bool under_threshold(core::WorkerId w) const {
-    return view_.inflight(w) < view_.inflight_per_core() * view_.owned_cores(w);
+    const int owned = view_.owned_cores(w);
+    stats_.state_touched += 1 + static_cast<std::uint64_t>(owned > 0 ? owned : 1);
+    return view_.inflight(w) < view_.inflight_per_core() * owned;
   }
 
   /// True when the apprank has at least one usable remote candidate under
@@ -125,7 +132,9 @@ class Scheduler {
   [[nodiscard]] bool has_remote_candidate(const nanos::Task& task) const;
 
   const RuntimeView& view_;
-  SchedStats stats_;
+  /// Mutable: the §5.5 helpers above are const (decisions are pure reads
+  /// of the runtime state) but still charge their probe costs.
+  mutable SchedStats stats_;
 };
 
 }  // namespace tlb::sched

@@ -3,8 +3,10 @@
 // kept placements bit-identical, policy registry error paths, and the
 // behaviour of the congestion / waittime feedback policies.
 #include <cstring>
+#include <memory>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -14,12 +16,71 @@
 #include "dlb/report.hpp"
 #include "fault/injector.hpp"
 #include "fault/plan.hpp"
+#include "graph/expander.hpp"
+#include "hier/hier_scheduler.hpp"
 #include "net/config.hpp"
+#include "sched/ewma.hpp"
+#include "sched/policies.hpp"
 #include "sched/registry.hpp"
 
 namespace {
 
 using namespace tlb;
+
+// Minimal sched::RuntimeView over a real (small) expander topology, for
+// unit-testing policies without a ClusterRuntime: every worker owns
+// `owned` cores, in-flight counts and the clock are settable.
+class FakeView final : public sched::RuntimeView {
+ public:
+  explicit FakeView(int nodes = 3, int degree = 3) {
+    graph::ExpanderParams p;
+    p.nodes = nodes;
+    p.appranks_per_node = 1;
+    p.degree = degree;
+    p.seed = 1;
+    expander_ = graph::build_expander(p);
+    topo_ = std::make_unique<core::Topology>(expander_.graph, 1);
+    inflight_.assign(static_cast<std::size_t>(topo_->worker_count()), 0);
+    owned_.assign(static_cast<std::size_t>(topo_->worker_count()), 2);
+    usable_.assign(static_cast<std::size_t>(topo_->worker_count()), 1);
+    for (int a = 0; a < topo_->apprank_count(); ++a) {
+      locs_.push_back(
+          std::make_unique<nanos::DataLocations>(topo_->home_node(a)));
+    }
+  }
+
+  [[nodiscard]] const core::Topology& topology() const override {
+    return *topo_;
+  }
+  [[nodiscard]] bool usable(core::WorkerId w) const override {
+    return usable_[static_cast<std::size_t>(w)] != 0;
+  }
+  [[nodiscard]] int inflight(core::WorkerId w) const override {
+    return inflight_[static_cast<std::size_t>(w)];
+  }
+  [[nodiscard]] int owned_cores(core::WorkerId w) const override {
+    return owned_[static_cast<std::size_t>(w)];
+  }
+  [[nodiscard]] int inflight_per_core() const override { return 2; }
+  [[nodiscard]] const nanos::DataLocations& locations(
+      int apprank) const override {
+    return *locs_[static_cast<std::size_t>(apprank)];
+  }
+  [[nodiscard]] sim::SimTime now() const override { return now_; }
+  [[nodiscard]] const net::LinkLoadView* link_load() const override {
+    return nullptr;
+  }
+
+  sim::SimTime now_ = 0.0;
+  std::vector<int> inflight_;
+  std::vector<int> owned_;
+  std::vector<char> usable_;
+
+ private:
+  graph::ExpanderResult expander_;
+  std::unique_ptr<core::Topology> topo_;
+  std::vector<std::unique_ptr<nanos::DataLocations>> locs_;
+};
 
 // --- golden schedule fingerprints --------------------------------------------
 //
@@ -174,12 +235,13 @@ TEST(GoldenSchedule, CongestionWithoutFabricDecaysToLocality) {
 
 // --- registry / config validation (no silent fallbacks) ----------------------
 
-TEST(SchedRegistry, KnownPoliciesListsAllThree) {
+TEST(SchedRegistry, KnownPoliciesListsBuiltinsInOrder) {
   const auto names = sched::known_policies();
-  ASSERT_EQ(names.size(), 3u);
+  ASSERT_GE(names.size(), 4u);  // extensions (e.g. "hier") may follow
   EXPECT_EQ(names[0], "locality");  // first = default
   EXPECT_EQ(names[1], "congestion");
   EXPECT_EQ(names[2], "waittime");
+  EXPECT_EQ(names[3], "adaptive");
 }
 
 TEST(SchedRegistry, UnknownPolicyNameThrowsListingValidValues) {
@@ -310,6 +372,203 @@ TEST(SchedReport, ZeroConsideredDoesNotDivide) {
   const std::string report = dlb::sched_report("locality", {});
   EXPECT_NE(report.find("policy: locality"), std::string::npos);
   EXPECT_NE(report.find("0.0%"), std::string::npos);
+}
+
+// --- registry extension error paths -------------------------------------------
+
+std::unique_ptr<sched::Scheduler> dummy_factory(const sched::SchedConfig&,
+                                                const sched::RuntimeView& v) {
+  return std::make_unique<sched::LocalityScheduler>(v);
+}
+
+TEST(SchedRegistry, DuplicateRegistrationThrows) {
+  // Builtins can never be shadowed...
+  EXPECT_THROW(sched::register_policy("locality", dummy_factory),
+               std::invalid_argument);
+  EXPECT_THROW(sched::register_policy("adaptive", dummy_factory),
+               std::invalid_argument);
+  // ...and neither can an already-registered extension. register_policies
+  // itself is idempotent (guarded), but a raw re-registration must throw.
+  hier::register_policies();
+  hier::register_policies();  // idempotent, no throw
+  EXPECT_THROW(sched::register_policy("hier", dummy_factory),
+               std::invalid_argument);
+}
+
+TEST(SchedRegistry, NullFactoryThrows) {
+  EXPECT_THROW(sched::register_policy("null-policy", nullptr),
+               std::invalid_argument);
+}
+
+// --- wait-estimate decay ------------------------------------------------------
+
+// Regression: a helper that was busy, went idle for many half-lives, and
+// then turns bursty again must not be judged by its stale busy-phase
+// estimate — the decayed value reads near zero and the first fresh sample
+// dominates the blend.
+TEST(DecayEwma, IdleThenBurstyIsNotJudgedByStaleSamples) {
+  sched::DecayEwma e;
+  double now = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    e.observe(0.2, now, 0.7, 0.5);
+    now += 0.01;
+  }
+  const double busy = e.read(now, 0.5);
+  EXPECT_GT(busy, 0.05);
+
+  // 10 s idle = 20 half-lives: the estimate must have melted away.
+  now += 10.0;
+  const double idle = e.read(now, 0.5);
+  EXPECT_LT(idle, 1e-6);
+  // read() is pure: it must not mutate the stored value.
+  EXPECT_DOUBLE_EQ(e.read(now, 0.5), idle);
+
+  // Bursty again: the new sample dominates (blend of ~0 decayed estimate
+  // and the fresh observation), instead of resuming from the busy phase.
+  e.observe(0.1, now, 0.7, 0.5);
+  EXPECT_NEAR(e.read(now, 0.5), 0.3 * 0.1, 0.005);
+}
+
+TEST(DecayEwma, NonPositiveHalfLifeDisablesDecay) {
+  sched::DecayEwma legacy;
+  legacy.observe(0.2, 0.0, 0.7, 0.0);
+  EXPECT_DOUBLE_EQ(legacy.read(1000.0, 0.0), legacy.read(0.0, 0.0));
+}
+
+// --- adaptive portfolio: explore/exploit with hysteresis ----------------------
+
+// Pressure-injectable portfolio: the virtual fabric probe is replaced by
+// a settable value so the switching logic is tested in isolation.
+class TestAdaptive final : public sched::AdaptiveScheduler {
+ public:
+  using sched::AdaptiveScheduler::AdaptiveScheduler;
+  double pressure = 0.0;
+
+ protected:
+  [[nodiscard]] double sampled_pressure(const nanos::Task&) override {
+    return pressure;
+  }
+};
+
+using AMode = sched::AdaptiveScheduler::Mode;
+
+sched::SchedConfig tiny_adaptive_config() {
+  sched::SchedConfig cfg;
+  cfg.adaptive_window = 0.05;  // short windows so tests converge quickly
+  cfg.adaptive_dwell = 2;
+  return cfg;
+}
+
+// Drives `picks` victim selections. The simulated clock advances by
+// dt_of(active mode) per pick and every pick reports one task start with
+// the given wait — so a mode's measured throughput is 1/dt and the
+// portfolio must measure its way to whichever mode dt_of favours.
+void drive(TestAdaptive& s, FakeView& view, int picks,
+           double (*dt_of)(AMode), double wait = 0.01) {
+  nanos::Task t;
+  t.apprank = 0;
+  const core::WorkerId hw = view.topology().home_worker(0);
+  for (int i = 0; i < picks; ++i) {
+    (void)s.pick(t);
+    view.now_ += dt_of(s.mode());
+    s.on_task_started(t, hw, wait);
+  }
+}
+
+TEST(AdaptivePolicy, ElectsTheModeWithHighestMeasuredThroughput) {
+  FakeView view;
+  TestAdaptive s(tiny_adaptive_config(), view);
+  EXPECT_TRUE(s.exploring());
+  EXPECT_EQ(s.mode(), AMode::Locality);
+
+  // Congestion mode measurably starts tasks 2x faster. 60 picks cover
+  // the full explore cycle (one scored window per mode) with exploit
+  // windows to spare.
+  drive(s, view, 60, [](AMode m) {
+    return m == AMode::Congestion ? 0.005 : 0.01;
+  });
+  EXPECT_FALSE(s.exploring());
+  EXPECT_EQ(s.incumbent(), AMode::Congestion);
+  EXPECT_EQ(s.mode(), AMode::Congestion);
+  // Probe cycle visited all three modes: locality->congestion->waittime,
+  // then back to the winner.
+  EXPECT_EQ(s.switches(), 3u);
+  EXPECT_GT(s.decisions_in(AMode::Locality), 0u);
+  EXPECT_GT(s.decisions_in(AMode::Waittime), 0u);
+  EXPECT_GT(s.probe_rate(AMode::Congestion), s.probe_rate(AMode::Locality));
+}
+
+TEST(AdaptivePolicy, PressureOscillationInsideDeadBandNeverFlaps) {
+  FakeView view;
+  TestAdaptive s(tiny_adaptive_config(), view);
+  drive(s, view, 60, [](AMode m) {
+    return m == AMode::Congestion ? 0.005 : 0.01;
+  });
+  ASSERT_FALSE(s.exploring());
+  const std::uint64_t settled = s.switches();
+
+  // Pressure bouncing inside [low, high) plus steady waits and rates:
+  // many windows later the portfolio must still be exploiting the same
+  // incumbent.
+  nanos::Task t;
+  t.apprank = 0;
+  const core::WorkerId hw = view.topology().home_worker(0);
+  for (int i = 0; i < 80; ++i) {
+    s.pressure = (i % 2 == 0) ? 0.30 : 0.45;
+    (void)s.pick(t);
+    view.now_ += 0.005;
+    s.on_task_started(t, hw, 0.01);
+  }
+  EXPECT_FALSE(s.exploring());
+  EXPECT_EQ(s.mode(), AMode::Congestion);
+  EXPECT_EQ(s.switches(), settled);
+}
+
+TEST(AdaptivePolicy, PressureRegimeCrossingTriggersReExploration) {
+  FakeView view;
+  TestAdaptive s(tiny_adaptive_config(), view);
+  s.pressure = 0.0;  // latches the low regime during the first election
+  drive(s, view, 60, [](AMode m) {
+    return m == AMode::Congestion ? 0.005 : 0.01;
+  });
+  ASSERT_EQ(s.incumbent(), AMode::Congestion);
+
+  // Crossing the high threshold is a regime change: after the minimum
+  // dwell the portfolio re-explores and elects the new best mode.
+  s.pressure = 0.90;
+  drive(s, view, 160, [](AMode m) {
+    return m == AMode::Waittime ? 0.005 : 0.01;
+  });
+  EXPECT_FALSE(s.exploring());
+  EXPECT_EQ(s.incumbent(), AMode::Waittime);
+}
+
+TEST(AdaptivePolicy, WaitDriftTriggersReExploration) {
+  FakeView view;
+  TestAdaptive s(tiny_adaptive_config(), view);
+  drive(s, view, 60, [](AMode m) {
+    return m == AMode::Congestion ? 0.005 : 0.01;
+  });
+  ASSERT_EQ(s.incumbent(), AMode::Congestion);
+
+  // The incumbent's observed waits blow past adaptive_wait_exit x the
+  // wait measured at election: the portfolio must notice, re-measure,
+  // and elect whichever mode now performs best.
+  drive(s, view, 160, [](AMode m) {
+    return m == AMode::Locality ? 0.005 : 0.01;
+  }, 1.0);
+  EXPECT_EQ(s.incumbent(), AMode::Locality);
+}
+
+TEST(AdaptivePolicy, EquivalentModesKeepTheIncumbent) {
+  FakeView view;
+  TestAdaptive s(tiny_adaptive_config(), view);
+  // All modes measure identical throughput: the election margin keeps
+  // the incumbent (locality, the starting default) — no switch on ties.
+  drive(s, view, 60, [](AMode) { return 0.01; });
+  EXPECT_FALSE(s.exploring());
+  EXPECT_EQ(s.incumbent(), AMode::Locality);
+  EXPECT_EQ(s.mode(), AMode::Locality);
 }
 
 }  // namespace

@@ -6,9 +6,10 @@ run's smoke reports, the base directory is the latest ``bench-reports``
 artifact from main. For every figure present in both, each point is matched
 by (series name, position) and its tracked metrics are compared. Metrics
 are direction-aware: for ``makespan`` (or the first key containing
-"makespan"), ``latency_p99_s``, ``cost_node_seconds`` and
-``breaker_open_time_s``, growth beyond the threshold (default 20%) is a
-regression; for ``goodput``, a *drop* beyond the threshold is.
+"makespan"), ``latency_p99_s``, ``cost_node_seconds``,
+``breaker_open_time_s`` and ``sched_switches``, growth beyond the
+threshold (default 20%) is a regression; for ``goodput`` and
+``decisions_per_sec``, a *drop* beyond the threshold is.
 
 The job is *fail-soft*: regressions are reported as GitHub ``::warning::``
 annotations (plain lines outside Actions) and the exit code stays 0 unless
@@ -67,6 +68,14 @@ def point_metrics(point: dict) -> list[tuple[str, bool]]:
         metrics.append(("cost_node_seconds", True))
     if isinstance(point.get("breaker_open_time_s"), (int, float)):
         metrics.append(("breaker_open_time_s", True))
+    # Scheduler-policy health (fig14): a jump in mode switches means the
+    # adaptive portfolio started flapping; a drop in scheduling throughput
+    # (decisions per wall-clock second, fig14b scaling arm) means victim
+    # selection itself got more expensive.
+    if isinstance(point.get("sched_switches"), (int, float)):
+        metrics.append(("sched_switches", True))
+    if isinstance(point.get("decisions_per_sec"), (int, float)):
+        metrics.append(("decisions_per_sec", False))
     return metrics
 
 
