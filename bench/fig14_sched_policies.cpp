@@ -71,6 +71,10 @@ apps::SyntheticConfig workload_config(double imbalance, int appranks) {
 
 core::RuntimeConfig runtime_config(const std::string& policy,
                                    int oversubscription, int nodes) {
+  // "hier(no-res)" = the two-level scheduler with the residency
+  // tie-break disabled — the pre-residency balancer, kept as a scaling
+  // ablation (fig 14b) to show what the signal buys at 32-64 nodes.
+  const bool hier_no_residency = policy == "hier(no-res)";
   core::RuntimeConfig cfg;
   cfg.cluster = sim::ClusterSpec::homogeneous(nodes, kCores);
   cfg.cluster.link.bandwidth = kNicBandwidth;
@@ -84,7 +88,12 @@ core::RuntimeConfig runtime_config(const std::string& policy,
   // leaf_radix NICs share one uplink: uplink = radix * nic / oversub.
   cfg.net.uplink_bandwidth =
       cfg.net.leaf_radix * kNicBandwidth / oversubscription;
-  cfg.sched.policy = policy;  // "hier" resolves to the two-level scheduler
+  if (hier_no_residency) {
+    cfg.sched.policy = "hier";
+    cfg.hier.residency_band = 0.0;
+  } else {
+    cfg.sched.policy = policy;  // "hier" resolves to the two-level scheduler
+  }
   return cfg;
 }
 
@@ -174,7 +183,7 @@ void scaling_arm(bench::JsonReport& report) {
                                            ? std::vector<int>{8, 16}
                                            : std::vector<int>{8, 16, 32, 64};
   for (const int nodes : node_counts) {
-    for (const std::string policy : {"locality", "hier"}) {
+    for (const std::string policy : {"locality", "hier", "hier(no-res)"}) {
       apps::SyntheticWorkload wl(workload_config(2.5, nodes));
       core::ClusterRuntime rt(runtime_config(policy, 4, nodes));
       const auto t0 = std::chrono::steady_clock::now();

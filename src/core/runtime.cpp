@@ -135,8 +135,15 @@ ClusterRuntime::ClusterRuntime(RuntimeConfig config, sim::Engine* shared_engine)
   recorder_ = std::make_unique<trace::Recorder>(topology_->node_count(),
                                                 topology_->apprank_count());
   register_metrics();
-  if (config_.obs.spans) {
+  if (config_.obs.stream.enabled) {
+    // Streaming backend: finished spans spill to disk, only open spans
+    // stay resident. Supersedes the in-memory collector when both are
+    // requested (same events, bounded memory).
+    stream_sink_ = std::make_unique<stream::StreamSink>(config_.obs.stream);
+    active_sink_ = stream_sink_.get();
+  } else if (config_.obs.spans) {
     span_collector_ = std::make_unique<obs::SpanCollector>();
+    active_sink_ = span_collector_.get();
   }
 
   // Contention-aware interconnect (tlb::net): replace the analytic cost
@@ -156,10 +163,11 @@ ClusterRuntime::ClusterRuntime(RuntimeConfig config, sim::Engine* shared_engine)
                   nconf.nic_bw(link), nconf.uplink_bw(link),
                   nconf.base_latency(link), nconf.per_hop_latency);
     fabric_ = std::make_unique<net::Fabric>(engine_, std::move(topo));
+    fabric_->set_incremental(nconf.incremental);
     fabric_->set_congestion_threshold(nconf.congestion_threshold);
     fabric_->set_recorder(recorder_.get());
-    if (span_collector_ != nullptr) {
-      fabric_->set_span_sink(span_collector_.get());
+    if (active_sink_ != &null_sink_) {
+      fabric_->set_span_sink(active_sink_);
     }
     app_comm_->attach_fabric(fabric_.get());
     ctrl_comm_->attach_fabric(fabric_.get());
@@ -274,7 +282,8 @@ obs::PopReport ClusterRuntime::pop() const {
                              ? result_.makespan
                              : engine_.now() - start_time_;
   const double transfer_wait =
-      span_collector_ != nullptr
+      stream_sink_ != nullptr ? stream_sink_->transfer_wait_core_seconds()
+      : span_collector_ != nullptr
           ? span_collector_->transfer_wait_core_seconds()
           : 0.0;
   return obs::pop_report(*talp_, worker_apprank, topology_->apprank_count(),
@@ -398,6 +407,11 @@ RunResult ClusterRuntime::finalize() {
     metrics_.counter("net.flows_completed").inc(fabric_->flows_completed());
     metrics_.counter("net.flows_cancelled").inc(fabric_->flows_cancelled());
     metrics_.counter("net.bytes_delivered").inc(fabric_->bytes_delivered());
+    metrics_.counter("net.solver_runs").inc(fabric_->solver_runs());
+    metrics_.counter("net.solver_flows_touched")
+        .inc(fabric_->solver_flows_touched());
+    metrics_.counter("net.solver_links_touched")
+        .inc(fabric_->solver_links_touched());
     obs::Histogram& fct = metrics_.histogram(
         "net.fct_s",
         {1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0});
@@ -413,6 +427,20 @@ RunResult ClusterRuntime::finalize() {
     metrics_.counter("obs.rescues").inc(span_collector_->rescues());
     metrics_.gauge("obs.transfer_wait_core_s")
         .set(span_collector_->transfer_wait_core_seconds());
+  }
+  if (stream_sink_ != nullptr) {
+    metrics_.counter("obs.rescues").inc(stream_sink_->rescues());
+    metrics_.gauge("obs.transfer_wait_core_s")
+        .set(stream_sink_->transfer_wait_core_seconds());
+    // Close before snapshotting so the spill file (footer + trailer) is
+    // complete and the byte count final when the bench reads it.
+    stream_sink_->close();
+    metrics_.counter("stream.spans_spilled")
+        .inc(stream_sink_->spans_spilled());
+    metrics_.counter("stream.bytes_written")
+        .inc(stream_sink_->bytes_written());
+    metrics_.gauge("stream.peak_open_spans")
+        .set(static_cast<double>(stream_sink_->peak_open_spans()));
   }
   return result_;
 }
@@ -492,6 +520,12 @@ void ClusterRuntime::on_barrier_done() {
   m_.iteration_time->add(engine_.now() - last_barrier_time_);
   last_barrier_time_ = engine_.now();
   if (config_.obs.pop_windows) capture_pop_window(iteration);
+  if (stream_sink_ != nullptr) {
+    // Windowed telemetry snapshot at the barrier epoch: cumulative engine
+    // and spill counters, differenced by readers for per-window rates.
+    stream_sink_->metric_window(iteration, engine_.now(),
+                                engine_.events_fired());
+  }
 
   std::vector<double> apprank_times(
       static_cast<std::size_t>(topology_->apprank_count()));

@@ -65,6 +65,7 @@
 #include "resil/quarantine.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/engine.hpp"
+#include "stream/sink.hpp"
 #include "trace/recorder.hpp"
 #include "vmpi/comm.hpp"
 
@@ -165,8 +166,17 @@ class ClusterRuntime : private sched::RuntimeView {
 
   /// Per-task lifecycle spans, or nullptr unless RuntimeConfig::obs.spans
   /// was set. Feed to obs::chrome_trace_json / obs::critical_path.
+  /// Null in streaming mode (obs.stream): rebuild the view post-run with
+  /// stream::StreamReader on the spill file instead.
   [[nodiscard]] const obs::SpanCollector* spans() const {
     return span_collector_.get();
+  }
+
+  /// The bounded-memory streaming span backend, or nullptr unless
+  /// RuntimeConfig::obs.stream.enabled. finalize() closes it (footer +
+  /// trailer), after which the spill file is complete and readable.
+  [[nodiscard]] const stream::StreamSink* stream_sink() const {
+    return stream_sink_.get();
   }
 
   /// TALP busy-core accounting (post-run inspection; the POP report's
@@ -436,15 +446,13 @@ class ClusterRuntime : private sched::RuntimeView {
   void maybe_rewire(int apprank);
 
   // Observability (tlb::obs).
-  /// The span sink lifecycle hooks emit into: the collector when
+  /// The span sink lifecycle hooks emit into: the streaming backend when
+  /// config_.obs.stream.enabled, else the collector when
   /// config_.obs.spans is set, else a shared no-op (one virtual call and
   /// nothing else — the disabled path stays cheap and branch-free at the
-  /// call sites).
-  [[nodiscard]] obs::SpanSink& sink() {
-    return span_collector_ != nullptr
-               ? static_cast<obs::SpanSink&>(*span_collector_)
-               : null_sink_;
-  }
+  /// call sites). Cached in active_sink_ at construction: exactly one
+  /// backend is live for the whole run.
+  [[nodiscard]] obs::SpanSink& sink() { return *active_sink_; }
   void register_metrics();
 
   // Elastic scaling loop (tlb::elastic; scheduled only when
@@ -490,7 +498,12 @@ class ClusterRuntime : private sched::RuntimeView {
   /// hold raw sink pointers into the collector.
   obs::Registry metrics_;
   std::unique_ptr<obs::SpanCollector> span_collector_;
+  /// Bounded-memory streaming backend (config_.obs.stream.enabled only):
+  /// supersedes the collector when both are requested.
+  std::unique_ptr<stream::StreamSink> stream_sink_;
   obs::SpanSink null_sink_;
+  /// Whichever of stream_sink_ / span_collector_ / null_sink_ is live.
+  obs::SpanSink* active_sink_ = &null_sink_;
   /// Cached registry handles for the hot counters incremented at the
   /// original RunResult call sites (no name lookup per event).
   struct MetricRefs {

@@ -41,13 +41,21 @@ sched::Decision GlobalBalancer::pick(const nanos::Task& task,
   const core::Topology& topo = view_.topology();
   const core::WorkerId home = topo.home_worker(task.apprank);
   const int home_node = topo.home_node(task.apprank);
+  double input_bytes = 0.0;
+  for (const nanos::AccessRegion& a : task.accesses) {
+    if (a.reads()) input_bytes += static_cast<double>(a.size);
+  }
 
   // Level 1: the home node's master. Home placement needs no balancing —
   // any slack there wins (the flat locality rule agrees: resident bytes
   // are at home until tasks get offloaded).
   const LocalMaster& hm = consult(home_node, stats);
   if (view_.usable(home) && slack_of(hm.summary(), home) > 0) {
-    master(home_node).note_placed(home);
+    LocalMaster& m = master(home_node);
+    m.note_placed(home);
+    m.observe_residency(task.apprank, input_bytes, view_.now(),
+                        hconf_.residency_smoothing,
+                        hconf_.residency_halflife);
     return {home, sched::DecisionKind::Baseline};
   }
   const double home_wait =
@@ -57,7 +65,13 @@ sched::Decision GlobalBalancer::pick(const nanos::Task& task,
   // candidate set is the expander adjacency (O(degree) nodes), each
   // consulted through its compact summary.
   const net::LinkLoadView* net = view_.link_load();
-  core::WorkerId best = -1;
+  struct Candidate {
+    core::WorkerId worker = -1;
+    int node = -1;
+    double ratio = 0.0;
+    double residency = 0.0;
+  };
+  std::vector<Candidate> candidates;
   double best_ratio = std::numeric_limits<double>::infinity();
   bool considered = false;
   bool vetoed = false;
@@ -85,17 +99,37 @@ sched::Decision GlobalBalancer::pick(const nanos::Task& task,
       vetoed = true;
       continue;
     }
-    const double ratio = m.summary().load_ratio;
-    if (ratio < best_ratio) {
-      best_ratio = ratio;
-      best = w;
-    }
+    Candidate c;
+    c.worker = w;
+    c.node = node;
+    c.ratio = m.summary().load_ratio;
+    c.residency =
+        m.residency(task.apprank, view_.now(), hconf_.residency_halflife);
+    best_ratio = std::min(best_ratio, c.ratio);
+    candidates.push_back(c);
   }
   if (considered) ++stats.offloads_considered;
-  if (best >= 0) {
-    master(topo.worker(best).node).note_placed(best);
+  // Near-ties in load compete on residency: among candidates within
+  // residency_band of the lowest load_ratio, take the warmest node for
+  // this apprank (fewer input bytes to move). Ties — including the
+  // no-history case where every residency is 0 — fall back to the lowest
+  // ratio, first encountered, which is exactly the pre-residency rule.
+  const Candidate* best = nullptr;
+  for (const Candidate& c : candidates) {
+    if (c.ratio > best_ratio + hconf_.residency_band) continue;
+    if (best == nullptr || c.residency > best->residency ||
+        (c.residency == best->residency && c.ratio < best->ratio)) {
+      best = &c;
+    }
+  }
+  if (best != nullptr) {
+    LocalMaster& m = master(best->node);
+    m.note_placed(best->worker);
+    m.observe_residency(task.apprank, input_bytes, view_.now(),
+                        hconf_.residency_smoothing,
+                        hconf_.residency_halflife);
     ++stats.offloads_steered;
-    return {best, sched::DecisionKind::Steered};
+    return {best->worker, sched::DecisionKind::Steered};
   }
   if (vetoed) {
     // Capacity existed but every candidate was vetoed by feedback: hold

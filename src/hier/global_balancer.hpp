@@ -34,8 +34,10 @@ class GlobalBalancer {
   ///   - Baseline  — placed at home (it had slack), or held centrally
   ///                 with every candidate saturated;
   ///   - Steered   — placed on the least-loaded remote candidate with
-  ///                 slack (summary-driven, not residency-driven: this is
-  ///                 where hier deviates from the flat locality rule);
+  ///                 slack; near-ties in load (HierConfig::residency_band)
+  ///                 go to the node with the warmest decayed residency for
+  ///                 the task's apprank, recovering the flat locality
+  ///                 rule's transfer avoidance at summary cost;
   ///   - Suppressed — remote slack existed but congestion / helper-wait
   ///                 vetoes rejected every candidate.
   [[nodiscard]] sched::Decision pick(const nanos::Task& task,

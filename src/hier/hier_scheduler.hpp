@@ -12,8 +12,10 @@
 // HierConfig::summary_period.
 //
 // Divergence from the flat baseline, by design: placement is balance- and
-// headroom-driven, not residency-driven (no per-decision resident-bytes
-// scan), so Steered counts every remote placement and schedules are NOT
+// headroom-driven (no per-decision resident-bytes scan of the dependency
+// graph — near-ties in load are broken by a decayed per-apprank
+// residency EWMA, HierConfig::residency_*), so Steered counts every
+// remote placement and schedules are NOT
 // comparable fingerprint-wise to "locality". The disabled path
 // (HierConfig::enabled = false, policy != "hier") constructs nothing from
 // this library and stays bit-identical.

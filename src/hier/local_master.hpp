@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "hier/summary.hpp"
 #include "sched/ewma.hpp"
@@ -55,9 +56,29 @@ class LocalMaster {
     return wait_ewma_.read(now, half_life);
   }
 
+  /// Folds a placement of `bytes` input bytes for `apprank` into the
+  /// node's decayed residency signal (HierConfig residency_*).
+  void observe_residency(int apprank, double bytes, sim::SimTime now,
+                         double smoothing, double half_life) {
+    if (residency_.size() <= static_cast<std::size_t>(apprank)) {
+      residency_.resize(static_cast<std::size_t>(apprank) + 1);
+    }
+    residency_[static_cast<std::size_t>(apprank)].observe(bytes, now,
+                                                          smoothing,
+                                                          half_life);
+  }
+  /// Decayed input-byte residency of `apprank` on this node; 0 when the
+  /// apprank never placed here.
+  [[nodiscard]] double residency(int apprank, sim::SimTime now,
+                                 double half_life) const {
+    if (residency_.size() <= static_cast<std::size_t>(apprank)) return 0.0;
+    return residency_[static_cast<std::size_t>(apprank)].read(now, half_life);
+  }
+
  private:
   NodeSummary summary_;
   sched::DecayEwma wait_ewma_;
+  std::vector<sched::DecayEwma> residency_;  ///< indexed by apprank
   std::uint64_t refreshes_ = 0;
 };
 

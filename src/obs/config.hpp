@@ -1,6 +1,8 @@
 // Observability configuration (tlb::obs).
 #pragma once
 
+#include "stream/config.hpp"
+
 namespace tlb::obs {
 
 struct ObsConfig {
@@ -16,6 +18,14 @@ struct ObsConfig {
   /// row keyed by barrier epoch (ClusterRuntime::pop_windows()). Pure
   /// recording like spans — off by default, bit-identical when on.
   bool pop_windows = false;
+
+  /// Streaming span backend (tlb::stream): when stream.enabled the
+  /// runtime records spans through a bounded-memory StreamSink that
+  /// spills finished spans to stream.path instead of the in-memory
+  /// collector (which this field supersedes — `spans` is implied). The
+  /// default (disabled) keeps the in-memory collector semantics and is
+  /// bit-identical either way; see stream/config.hpp.
+  stream::StreamConfig stream;
 };
 
 }  // namespace tlb::obs

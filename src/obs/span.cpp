@@ -105,6 +105,15 @@ void SpanCollector::task_rescued(nanos::TaskId id, int worker,
   instants_.push_back(std::move(e));
 }
 
+void SpanCollector::restore_span(TaskSpan span) {
+  const nanos::TaskId id = span.id;
+  at(id) = std::move(span);
+}
+
+void SpanCollector::restore_instant(InstantEvent event) {
+  instants_.push_back(std::move(event));
+}
+
 void SpanCollector::link_congestion(int link, const std::string& name,
                                     bool congested, sim::SimTime t) {
   (void)link;

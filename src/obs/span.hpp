@@ -125,6 +125,24 @@ class SpanCollector final : public SpanSink {
     return instants_;
   }
 
+  // --- restore hooks (tlb::stream) ------------------------------------------
+  // A stream::StreamReader rebuilds a collector-equivalent view from a
+  // spill file so every exporter (chrome_trace, flame, critical_path)
+  // works unchanged on streamed runs. Restored records bypass the live
+  // event hooks: spans land at their dense id slot, instants keep their
+  // original emission order, and the aggregates are installed verbatim
+  // instead of being re-derived.
+
+  /// Installs a fully-populated span at its dense id slot.
+  void restore_span(TaskSpan span);
+  /// Appends an instant event (call in original emission order).
+  void restore_instant(InstantEvent event);
+  /// Installs the run aggregates the live hooks would have accumulated.
+  void restore_aggregates(double transfer_wait_core_s, std::uint64_t rescues) {
+    transfer_wait_ = transfer_wait_core_s;
+    rescues_ = rescues;
+  }
+
   // Aggregates maintained as events arrive (consumed by obs::pop_report).
   /// Core-seconds spent occupied-but-not-busy waiting on input transfers
   /// (transfer_end - exec claim, approximated by transfer windows).

@@ -146,7 +146,17 @@ void AdaptiveScheduler::step(const nanos::Task& task) {
     // carryover from the previous mode.
     if (probe_index_ < 2) {
       ++probe_index_;
-      set_mode(static_cast<Mode>(probe_index_));
+      const Mode next = static_cast<Mode>(probe_index_);
+      if (next == Mode::Waittime && config_.adaptive_cold_probe) {
+        // Cold probe: the always-warm estimators (on_task_started above)
+        // hand the waittime probe the *previous* mode's high waits, so
+        // suppression never engages and the window measures
+        // locality-with-extra-steps. Clearing the estimates lets the
+        // probe reach the mode's own suppress -> low-waits equilibrium;
+        // they re-warm from this window's observations immediately.
+        waittime_.reset_estimates();
+      }
+      set_mode(next);
       return;
     }
     elect();

@@ -99,6 +99,17 @@ struct SchedConfig {
   /// trigger is honoured (dwell): even a genuine regime change cannot
   /// flip the portfolio back immediately.
   std::uint64_t adaptive_dwell = 16;
+  /// Probe the waittime mode from *cold* estimator state: entering the
+  /// waittime probe window clears the portfolio's waittime wait/helper
+  /// EWMAs first. The estimators are kept warm across switches on
+  /// purpose (a mode entered later starts from current signals), but for
+  /// waittime specifically the warm start hides the mode's fixed point:
+  /// its suppress -> low-waits -> keep-suppressing equilibrium is only
+  /// reachable from low estimates, while the probe inherits the
+  /// *previous* mode's high waits and measures locality-with-extra-steps
+  /// instead. Cold-starting just the probe lets the election see the
+  /// mode's own equilibrium. false restores the always-warm behaviour.
+  bool adaptive_cold_probe = true;
 };
 
 }  // namespace tlb::sched

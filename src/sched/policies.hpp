@@ -87,6 +87,16 @@ class WaittimeScheduler final : public Scheduler {
                : 0.0;
   }
 
+  /// Drops every wait/helper estimate back to the never-observed state.
+  /// Used by the adaptive portfolio's cold probe
+  /// (SchedConfig::adaptive_cold_probe): waittime's suppression fixed
+  /// point is only reachable from low estimates, so the probe window
+  /// starts from cold instead of inheriting the previous mode's waits.
+  void reset_estimates() {
+    wait_ewma_.clear();
+    helper_ewma_.clear();
+  }
+
  private:
   SchedConfig config_;
   std::vector<DecayEwma> wait_ewma_;    ///< per apprank
@@ -160,6 +170,11 @@ class AdaptiveScheduler : public Scheduler {
   /// Victim selections delegated while in `m` (portfolio mix).
   [[nodiscard]] std::uint64_t decisions_in(Mode m) const {
     return mode_decisions_[static_cast<std::size_t>(m)];
+  }
+  /// The portfolio's waittime sub-policy (estimate inspection — the cold
+  /// probe's reset is observable through wait_estimate()).
+  [[nodiscard]] const WaittimeScheduler& waittime() const {
+    return waittime_;
   }
   [[nodiscard]] static const char* to_string(Mode m) {
     switch (m) {

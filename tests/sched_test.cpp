@@ -571,4 +571,50 @@ TEST(AdaptivePolicy, EquivalentModesKeepTheIncumbent) {
   EXPECT_EQ(s.mode(), AMode::Locality);
 }
 
+// Drives the explore cycle under heavy observed waits until the probe
+// advances into the waittime window, *without* folding any observation
+// in after the switch. Returns false if the probe never got there.
+bool drive_into_waittime_probe(TestAdaptive& s, FakeView& view) {
+  nanos::Task t;
+  t.apprank = 0;
+  const core::WorkerId hw = view.topology().home_worker(0);
+  for (int i = 0; i < 200; ++i) {
+    (void)s.pick(t);
+    if (s.mode() == AMode::Waittime) return true;
+    view.now_ += 0.01;
+    // Heavy waits: the always-warm forwarding runs every estimator hot
+    // before the waittime probe opens.
+    s.on_task_started(t, hw, 0.5);
+  }
+  return false;
+}
+
+// Regression for SchedConfig::adaptive_cold_probe: the waittime probe
+// must open on *cold* estimates. With the always-warm carryover the probe
+// inherits the previous modes' 0.5 s waits, suppression never engages,
+// and the window measures locality-with-extra-steps instead of the
+// mode's own suppress -> low-waits equilibrium.
+TEST(AdaptivePolicy, WaittimeProbeOpensCold) {
+  FakeView view;
+  sched::SchedConfig cfg = tiny_adaptive_config();
+  ASSERT_TRUE(cfg.adaptive_cold_probe);  // the default
+  TestAdaptive s(cfg, view);
+  ASSERT_TRUE(drive_into_waittime_probe(s, view));
+  // Entering the probe reset the estimator: nothing observed yet, so the
+  // estimate reads exactly "never waited" — well under wait_offload_min,
+  // where the mode's suppression fixed point is reachable.
+  EXPECT_EQ(s.waittime().wait_estimate(0), 0.0);
+  EXPECT_LT(s.waittime().wait_estimate(0), cfg.wait_offload_min);
+}
+
+TEST(AdaptivePolicy, ColdProbeOffRestoresWarmCarryover) {
+  FakeView view;
+  sched::SchedConfig cfg = tiny_adaptive_config();
+  cfg.adaptive_cold_probe = false;
+  TestAdaptive s(cfg, view);
+  ASSERT_TRUE(drive_into_waittime_probe(s, view));
+  // Legacy behaviour: the probe opens on the previous modes' hot waits.
+  EXPECT_GT(s.waittime().wait_estimate(0), cfg.wait_offload_min);
+}
+
 }  // namespace

@@ -76,6 +76,14 @@ def point_metrics(point: dict) -> list[tuple[str, bool]]:
         metrics.append(("sched_switches", True))
     if isinstance(point.get("decisions_per_sec"), (int, float)):
         metrics.append(("decisions_per_sec", False))
+    # Engine scale-out health (fig17): simulated events per wall-clock
+    # second falling means the event loop or the fabric solver got
+    # slower; peak RSS growing means the bounded-memory telemetry working
+    # set is no longer bounded.
+    if isinstance(point.get("events_per_sec"), (int, float)):
+        metrics.append(("events_per_sec", False))
+    if isinstance(point.get("peak_rss_mb"), (int, float)):
+        metrics.append(("peak_rss_mb", True))
     return metrics
 
 
