@@ -18,8 +18,24 @@
 #include <vector>
 
 #include "core/runtime.hpp"
+#include "prof/prof.hpp"
 
 namespace tlb::bench {
+
+/// True when TLB_PROF is set (and not "0"): the bench enables the host
+/// self-profiler (tlb::prof) and every JsonReport gains a "prof" block
+/// plus a tlb_prof_<figure>.collapsed host-flamegraph artifact.
+inline bool prof_requested() {
+  const char* e = std::getenv("TLB_PROF");
+  return e != nullptr && e[0] != '\0' && std::string(e) != "0";
+}
+
+/// Peak resident set of this process in MB (Linux: getrusage; hoisted
+/// out of fig17 so every fig bench emits it). 0 on unsupported platforms.
+inline double peak_rss_mb() { return prof::peak_rss_mb(); }
+
+/// Current resident set in MB (/proc/self/status VmRSS; 0 elsewhere).
+inline double current_rss_mb() { return prof::current_rss_mb(); }
 
 /// Paper machine models.
 inline sim::ClusterSpec marenostrum4(int nodes) {
@@ -63,6 +79,10 @@ inline core::RuntimeConfig make_config(sim::ClusterSpec cluster, int per_node,
   cfg.lewi = s.lewi;
   cfg.drom = s.drom;
   cfg.policy = s.policy;
+  // TLB_PROF=1 profiles every bench: runtimes register their telemetry
+  // gauge and the engine loop samples health snapshots. Record-only —
+  // the measured schedules are bit-identical either way.
+  cfg.prof.enabled = prof_requested();
   return cfg;
 }
 
@@ -223,7 +243,14 @@ class JsonReport {
   JsonReport(std::string figure, std::string title)
       : figure_(std::move(figure)),
         title_(std::move(title)),
-        start_(std::chrono::steady_clock::now()) {}
+        start_(std::chrono::steady_clock::now()) {
+    if (prof_requested()) {
+      // Fresh measurement window per bench binary: the report's "prof"
+      // block then covers exactly this figure's runs.
+      prof::Profiler::instance().enable();
+      prof::Profiler::instance().reset();
+    }
+  }
 
   JsonReport(const JsonReport&) = delete;
   JsonReport& operator=(const JsonReport&) = delete;
@@ -271,14 +298,23 @@ class JsonReport {
       out += i + 1 < series_.size() ? "    ]},\n" : "    ]}\n";
     }
     out += "  ],\n";
+    // Every figure report carries the process peak RSS so memory is
+    // trend-tracked across all benches, not just fig17's scale arm.
+    char rss[64];
+    std::snprintf(rss, sizeof(rss), "%.1f", peak_rss_mb());
+    out += std::string("  \"peak_rss_mb\": ") + rss + ",\n";
+    if (prof::enabled()) {
+      out += "  \"prof\": " + prof::Profiler::instance().to_json() + ",\n";
+    }
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.1f", wall_ms);
     out += std::string("  \"wall_ms\": ") + buf + "\n}\n";
 
-    std::string path = "BENCH_" + figure_ + ".json";
-    if (const char* dir = std::getenv("TLB_BENCH_OUTPUT_DIR")) {
-      if (dir[0] != '\0') path = std::string(dir) + "/" + path;
+    std::string dir;
+    if (const char* d = std::getenv("TLB_BENCH_OUTPUT_DIR")) {
+      if (d[0] != '\0') dir = std::string(d) + "/";
     }
+    const std::string path = dir + "BENCH_" + figure_ + ".json";
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
@@ -287,6 +323,12 @@ class JsonReport {
     std::fwrite(out.data(), 1, out.size(), f);
     std::fclose(f);
     std::printf("[json] wrote %s\n", path.c_str());
+    if (prof::enabled()) {
+      // Host wall-time flamegraph input (flamegraph.pl-compatible), the
+      // host-side counterpart of the obs flame export over sim time.
+      write_text_file(dir + "tlb_prof_" + figure_ + ".collapsed",
+                      prof::Profiler::instance().collapsed_stacks());
+    }
     return true;
   }
 

@@ -26,15 +26,16 @@
 // 64-node scale point sustains kSeedBaselineEventsPerSec below; every
 // "scale" point reports vs_seed64 = its rate over that one 64-node
 // number (so vs_seed64 at other node counts mixes scale effects with
-// engine effects — only the 64-node row is apples-to-apples). Measured
+// engine effects — only the 64-node row is apples-to-apples). With
+// TLB_PROF=1 every scale point additionally reports solver_wall_share,
+// alloc_bytes_per_task, and per-subsystem byte attribution from the
+// src/prof self-profiler (windowed per point). Measured
 // outcome on the reference host: the 64-node row is at parity (0.96x) —
 // the max-min solve is >95% of wall time and the 4-spine fat-tree makes
 // one giant flow<->link component, so the incremental decomposition
 // cannot shrink the re-solve on this topology (see solver_flows_touched
 // and EXPERIMENTS.md Fig 17). Simulated results are deterministic; only
 // wall-clock columns vary between hosts.
-#include <sys/resource.h>
-
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
@@ -43,6 +44,7 @@
 #include "apps/synthetic.hpp"
 #include "bench/common.hpp"
 #include "net/fabric.hpp"
+#include "prof/prof.hpp"
 
 namespace {
 
@@ -58,27 +60,6 @@ constexpr int kSpines = 4;
 /// Pre-PR engine throughput at the 64-node scale point on the reference
 /// host (see header). 0 means "not yet measured on this checkout".
 constexpr double kSeedBaselineEventsPerSec = 4937.0;
-
-double peak_rss_mb() {
-  rusage ru{};
-  getrusage(RUSAGE_SELF, &ru);
-  return static_cast<double>(ru.ru_maxrss) / 1024.0;  // Linux: KiB
-}
-
-/// Current VmRSS in MiB (0 when /proc is unavailable). Unlike ru_maxrss
-/// this is not monotone across the process, so per-run readings stay
-/// comparable regardless of which arm ran first.
-double current_rss_mb() {
-  std::FILE* f = std::fopen("/proc/self/status", "r");
-  if (f == nullptr) return 0.0;
-  char line[256];
-  double kb = 0.0;
-  while (std::fgets(line, sizeof(line), f) != nullptr) {
-    if (std::sscanf(line, "VmRSS: %lf kB", &kb) == 1) break;
-  }
-  std::fclose(f);
-  return kb / 1024.0;
-}
 
 std::string bench_dir() {
   const char* dir = std::getenv("TLB_BENCH_OUTPUT_DIR");
@@ -118,7 +99,18 @@ core::RuntimeConfig runtime_config(int nodes, Telemetry telemetry,
   cfg.obs.spans = telemetry == Telemetry::Collector;
   cfg.obs.stream.enabled = telemetry == Telemetry::Stream;
   cfg.obs.stream.path = stream_path;
+  cfg.prof.enabled = bench::prof_requested();
+  // Smoke points fire only a few thousand events; the default 8192-event
+  // cadence would leave the health-snapshot buffer empty.
+  cfg.prof.snapshot_every_events = bench::smoke() ? 256 : 8192;
   return cfg;
+}
+
+std::uint64_t total_tasks(int nodes, int tasks_per_rank) {
+  const apps::SyntheticConfig cfg = workload_config(nodes, tasks_per_rank);
+  return static_cast<std::uint64_t>(cfg.appranks) *
+         static_cast<std::uint64_t>(cfg.iterations) *
+         static_cast<std::uint64_t>(cfg.tasks_per_rank);
 }
 
 struct RunSample {
@@ -133,15 +125,28 @@ struct RunSample {
   std::uint64_t solver_runs = 0;
   std::uint64_t solver_flows_touched = 0;
   std::uint64_t solver_links_touched = 0;
+  // Filled only when TLB_PROF=1 (all zero otherwise).
+  bool prof_on = false;
+  double solver_wall_share = 0.0;       ///< total_ns("net.solve") / window wall
+  double prof_unattributed_share = 0.0; ///< 1 - attributed/wall (acceptance <5%)
+  double alloc_bytes_per_task = 0.0;    ///< sum of per-tag peaks / total tasks
+  std::uint64_t prof_snapshots = 0;
+  std::vector<prof::TagStats> alloc_peaks;  ///< per-tag, for the RSS breakdown
 };
 
 RunSample run_once(int nodes, int tasks_per_rank, Telemetry telemetry,
                    bool incremental, const std::string& stream_path) {
+  // Each point gets its own profiler window so solver_wall_share and the
+  // allocation peaks describe this run, not everything since main().
+  // (The report-level "prof" block therefore covers the *last* point.)
+  const bool prof_on = bench::prof_requested();
+  if (prof_on) prof::Profiler::instance().reset();
+  RunSample s;
+  s.prof_on = prof_on;
   apps::SyntheticWorkload wl(workload_config(nodes, tasks_per_rank));
   core::ClusterRuntime rt(
       runtime_config(nodes, telemetry, incremental, stream_path));
   const auto t0 = std::chrono::steady_clock::now();
-  RunSample s;
   s.result = rt.run(wl);
   s.wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -150,8 +155,8 @@ RunSample run_once(int nodes, int tasks_per_rank, Telemetry telemetry,
       s.wall_s > 0.0
           ? static_cast<double>(s.result.events_fired) / s.wall_s
           : 0.0;
-  s.rss_mb = current_rss_mb();
-  s.peak_rss_mb = ::peak_rss_mb();
+  s.rss_mb = bench::current_rss_mb();
+  s.peak_rss_mb = bench::peak_rss_mb();
   if (const stream::StreamSink* sink = rt.stream_sink()) {
     s.spans_spilled = sink->spans_spilled();
     s.stream_bytes = sink->bytes_written();
@@ -162,14 +167,35 @@ RunSample run_once(int nodes, int tasks_per_rank, Telemetry telemetry,
     s.solver_flows_touched = fabric->solver_flows_touched();
     s.solver_links_touched = fabric->solver_links_touched();
   }
+  if (prof_on) {
+    // Read before ~ClusterRuntime so the window excludes teardown (the
+    // teardown frees are what balances the alloc counters, not a cost the
+    // run pays); peaks are monotone within the window so reading them
+    // with the runtime still alive is exact.
+    auto& p = prof::Profiler::instance();
+    const std::uint64_t wall_ns = p.wall_ns();
+    if (wall_ns > 0) {
+      s.solver_wall_share =
+          static_cast<double>(p.total_ns("net.solve")) /
+          static_cast<double>(wall_ns);
+      const std::uint64_t attributed = p.attributed_ns();
+      s.prof_unattributed_share =
+          attributed < wall_ns
+              ? 1.0 - static_cast<double>(attributed) /
+                          static_cast<double>(wall_ns)
+              : 0.0;
+    }
+    s.prof_snapshots = p.snapshots().size();
+    s.alloc_peaks = p.alloc_stats();
+    std::int64_t peak_sum = 0;
+    for (const auto& t : s.alloc_peaks) peak_sum += t.peak_bytes;
+    const std::uint64_t tasks = total_tasks(nodes, tasks_per_rank);
+    if (tasks > 0) {
+      s.alloc_bytes_per_task =
+          static_cast<double>(peak_sum) / static_cast<double>(tasks);
+    }
+  }
   return s;
-}
-
-std::uint64_t total_tasks(int nodes, int tasks_per_rank) {
-  const apps::SyntheticConfig cfg = workload_config(nodes, tasks_per_rank);
-  return static_cast<std::uint64_t>(cfg.appranks) *
-         static_cast<std::uint64_t>(cfg.iterations) *
-         static_cast<std::uint64_t>(cfg.tasks_per_rank);
 }
 
 // --- telemetry arm ------------------------------------------------------------
@@ -350,8 +376,8 @@ void scale_arm(bench::JsonReport& report, const std::vector<int>& node_counts,
     print_cell(fmt(vs_seed, 2));
     end_row();
 
-    report.point("scale")
-        .set("nodes", nodes)
+    bench::JsonObject& pt = report.point("scale");
+    pt.set("nodes", nodes)
         .set("tasks", total_tasks(nodes, tasks_per_rank))
         .set("makespan", s.result.makespan)
         .set("wall_s", s.wall_s)
@@ -366,6 +392,25 @@ void scale_arm(bench::JsonReport& report, const std::vector<int>& node_counts,
         .set("solver_flows_touched", s.solver_flows_touched)
         .set("solver_links_touched", s.solver_links_touched)
         .set("events_per_sec_vs_seed", vs_seed);
+    if (s.prof_on) {
+      // Direction-aware trend metrics (tools/bench_trend.py: up is bad)
+      // plus the per-subsystem RSS attribution for EXPERIMENTS.md.
+      pt.set("solver_wall_share", s.solver_wall_share)
+          .set("alloc_bytes_per_task", s.alloc_bytes_per_task)
+          .set("prof_unattributed_share", s.prof_unattributed_share)
+          .set("prof_snapshots", s.prof_snapshots);
+      const auto tasks =
+          static_cast<double>(total_tasks(nodes, tasks_per_rank));
+      for (const auto& t : s.alloc_peaks) {
+        std::string key = std::string("alloc_") + t.tag + "_bytes_per_task";
+        for (char& c : key) {
+          if (c == '.') c = '_';
+        }
+        pt.set(key, tasks > 0.0
+                        ? static_cast<double>(t.peak_bytes) / tasks
+                        : 0.0);
+      }
+    }
     std::remove(spill.c_str());
   }
 }

@@ -8,6 +8,7 @@
 #include "hier/config.hpp"
 #include "net/config.hpp"
 #include "obs/config.hpp"
+#include "prof/config.hpp"
 #include "resil/config.hpp"
 #include "sched/config.hpp"
 #include "sim/cluster_spec.hpp"
@@ -92,6 +93,15 @@ struct RuntimeConfig {
   /// nodes; svc::JobManager instead uses the same controller to decide how
   /// many cluster nodes are powered on (billed in node-seconds).
   elastic::ElasticConfig elastic;
+
+  /// Host-side engine self-profiling (tlb::prof). Off by default; the
+  /// disabled path is a single branch on a plain bool (no clock reads, no
+  /// atomics). Enabling is record-only — wall-time attribution, alloc
+  /// accounting and health snapshots never feed back into the simulation,
+  /// so schedules stay bit-identical on vs off. Note the profiler is
+  /// process-global: the runtime turns it on when this is set, and
+  /// benches reset it between measurement windows.
+  prof::ProfConfig prof;
 
   /// Service-style traffic scenario (tlb::svc). Inert by default and never
   /// read by ClusterRuntime itself — an enabled config is consumed by

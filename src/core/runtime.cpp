@@ -9,6 +9,7 @@
 
 #include "hier/hier_scheduler.hpp"
 #include "metrics/recovery.hpp"
+#include "prof/prof.hpp"
 #include "sched/registry.hpp"
 #include "solver/allocation.hpp"
 
@@ -49,6 +50,12 @@ ClusterRuntime::ClusterRuntime(RuntimeConfig config, sim::Engine* shared_engine)
       owned_engine_(shared_engine == nullptr ? std::make_unique<sim::Engine>()
                                              : nullptr),
       engine_(shared_engine != nullptr ? *shared_engine : *owned_engine_) {
+  // Turn the process-global profiler on before the first instrumented
+  // scope so construction itself is attributed ("core.construct").
+  if (config_.prof.enabled) {
+    prof::Profiler::instance().enable(config_.prof.snapshot_every_events);
+  }
+  PROF_SCOPE("core.construct");
   graph::ExpanderParams params;
   params.nodes = config_.cluster.node_count();
   params.appranks_per_node = config_.appranks_per_node;
@@ -186,6 +193,42 @@ ClusterRuntime::ClusterRuntime(RuntimeConfig config, sim::Engine* shared_engine)
   scheduler_ =
       make_policy(config_.hier.enabled ? "hier" : config_.sched.policy);
   subscribe_control_types();
+
+  if (config_.prof.enabled) {
+    // Health snapshots report the telemetry working set through this
+    // gauge; cleared in the destructor so the callback never dangles.
+    prof::Profiler::instance().set_open_spans_gauge(
+        [this]() -> std::int64_t {
+          if (stream_sink_ != nullptr) {
+            return static_cast<std::int64_t>(stream_sink_->open_spans());
+          }
+          if (span_collector_ != nullptr) {
+            return static_cast<std::int64_t>(span_collector_->spans().size());
+          }
+          return 0;
+        });
+    prof_gauge_registered_ = true;
+  }
+}
+
+ClusterRuntime::~ClusterRuntime() {
+  if (prof_gauge_registered_) {
+    prof::Profiler::instance().clear_open_spans_gauge();
+  }
+  if (prof::enabled()) {
+    // Balance the core.exec / core.pending charges of records still live
+    // at teardown (an aborted run, or executions parked on a crash).
+    if (!running_.empty()) {
+      prof::free_note(prof::AllocTag::CoreExec,
+                      running_.size() * sizeof(RunningExec));
+    }
+    for (const auto& [id, pd] : pending_data_) {
+      (void)id;
+      prof::free_note(
+          prof::AllocTag::CorePending,
+          sizeof(PendingData) + pd.flows.capacity() * sizeof(net::FlowId));
+    }
+  }
 }
 
 std::unique_ptr<sched::Scheduler> ClusterRuntime::make_policy(
@@ -298,6 +341,9 @@ RunResult ClusterRuntime::run(Workload& workload) {
 
 void ClusterRuntime::start(Workload& workload,
                            std::function<void()> on_complete) {
+  // Pre-loop setup (task graph materialisation, initial ownership plan)
+  // runs outside the engine loop, so it needs its own attribution bucket.
+  PROF_SCOPE("core.start");
   workload_ = &workload;
   on_complete_ = std::move(on_complete);
   start_time_ = engine_.now();
@@ -335,6 +381,7 @@ void ClusterRuntime::start(Workload& workload,
 }
 
 RunResult ClusterRuntime::finalize() {
+  PROF_SCOPE("core.finalize");
   // Collect statistics. Runtime-event counters were incremented into the
   // registry live; RunResult is the stable compatibility view over it.
   result_.control_messages = m_.control_messages->value();
@@ -592,6 +639,7 @@ int ClusterRuntime::owned_cores(WorkerId w) const {
 }
 
 int ClusterRuntime::pick_worker(const nanos::Task& task) {
+  PROF_SCOPE("sched.pick");
   // The §5.5 rule itself lives in tlb::sched (Scheduler::locality_pick,
   // the "locality" policy); alternative policies steer or suppress
   // offloads based on runtime feedback. Deviations from the baseline are
@@ -709,6 +757,9 @@ void ClusterRuntime::finish_assignment(nanos::TaskId id, WorkerId w) {
       pd.remaining = static_cast<int>(pd.flows.size());
       pd.worker = w;
       pd.started = engine_.now();
+      prof::alloc_note(
+          prof::AllocTag::CorePending,
+          sizeof(PendingData) + pd.flows.capacity() * sizeof(net::FlowId));
       pending_data_[id] = std::move(pd);
     }
     workers_[static_cast<std::size_t>(w)].queue.push_back(id);
@@ -807,10 +858,12 @@ void ClusterRuntime::start_task(nanos::TaskId id, WorkerId w, int core) {
     pd->second.exec = exec_id;
     pd->second.exec_waiting = true;
     pd->second.overhead = transfer_wait;
+    prof::alloc_note(prof::AllocTag::CoreExec, sizeof(RunningExec));
     running_.emplace(exec_id, run);
     return;
   }
 
+  prof::alloc_note(prof::AllocTag::CoreExec, sizeof(RunningExec));
   running_.emplace(exec_id, run);
   begin_compute(exec_id, transfer_wait);
 }
@@ -869,6 +922,9 @@ void ClusterRuntime::on_input_arrived(nanos::TaskId id) {
   // Feedback to the scheduling policy: observed flow-completion time of
   // this task's input transfers (the "congestion" per-helper FCT signal).
   scheduler_->on_inputs_landed(pd.worker, engine_.now() - pd.started);
+  prof::free_note(
+      prof::AllocTag::CorePending,
+      sizeof(PendingData) + pd.flows.capacity() * sizeof(net::FlowId));
   pending_data_.erase(it);
   if (waiting) begin_compute(exec, overhead);
 }
@@ -878,6 +934,9 @@ void ClusterRuntime::cancel_input_flows(nanos::TaskId id) {
   auto it = pending_data_.find(id);
   if (it == pending_data_.end()) return;
   for (const net::FlowId f : it->second.flows) fabric_->cancel(f);
+  prof::free_note(prof::AllocTag::CorePending,
+                  sizeof(PendingData) +
+                      it->second.flows.capacity() * sizeof(net::FlowId));
   pending_data_.erase(it);
 }
 
@@ -885,6 +944,7 @@ void ClusterRuntime::on_task_finished(std::uint64_t exec_id) {
   auto itr = running_.find(exec_id);
   assert(itr != running_.end());
   const RunningExec run = itr->second;
+  prof::free_note(prof::AllocTag::CoreExec, sizeof(RunningExec));
   running_.erase(itr);
   const WorkerId w = run.worker;
   const int node = run.node;
@@ -1040,6 +1100,7 @@ void ClusterRuntime::schedule_policy_tick() {
 
 void ClusterRuntime::policy_tick() {
   if (done_) return;
+  PROF_SCOPE("core.policy_tick");
   if (busy_smoothed_.size() <
       static_cast<std::size_t>(topology_->worker_count())) {
     // First tick, or the topology gained a worker through a rewire.
@@ -1135,6 +1196,7 @@ void ClusterRuntime::policy_tick() {
 }
 
 void ClusterRuntime::apply_plan(const OwnershipPlan& plan) {
+  PROF_SCOPE("core.apply_plan");
   // A plan computed before a crash or suspicion (e.g. held back by
   // solver_latency) may still grant cores to an unusable worker; drop it —
   // the crash/suspicion already triggered a fresh solve.
@@ -1273,6 +1335,7 @@ void ClusterRuntime::crash_worker(WorkerId w) {
       pd->second.exec_waiting = false;
     }
     if (!run.ghost) lost.push_back(run.task);
+    prof::free_note(prof::AllocTag::CoreExec, sizeof(RunningExec));
     it = running_.erase(it);
   }
 
@@ -1381,6 +1444,7 @@ void ClusterRuntime::on_heartbeat(WorkerId w) {
 
 void ClusterRuntime::detector_sweep() {
   if (done_) return;
+  PROF_SCOPE("resil.sweep");
   const sim::SimTime now = engine_.now();
   for (int w = 0; w < topology_->worker_count(); ++w) {
     if (topology_->worker(w).is_home ||
@@ -1560,6 +1624,7 @@ void ClusterRuntime::requeue_leased_task(nanos::TaskId id) {
         pd->second.exec == rit->first) {
       pd->second.exec_waiting = false;
       node_cores_[static_cast<std::size_t>(run.node)]->task_finished(run.core);
+      prof::free_note(prof::AllocTag::CoreExec, sizeof(RunningExec));
       rit = running_.erase(rit);
       continue;
     }

@@ -93,6 +93,11 @@ class ClusterRuntime : private sched::RuntimeView {
   explicit ClusterRuntime(RuntimeConfig config,
                           sim::Engine* shared_engine = nullptr);
 
+  /// Unregisters the profiler's open-span gauge (if this runtime
+  /// registered one) and balances tlb::prof allocation charges of
+  /// bookkeeping still live at teardown.
+  ~ClusterRuntime();
+
   /// Executes the workload to completion and returns the run statistics.
   /// Equivalent to start(workload) + engine run + finalize().
   RunResult run(Workload& workload);
@@ -553,6 +558,9 @@ class ClusterRuntime : private sched::RuntimeView {
   int barrier_arrivals_ = 0;
   sim::SimTime last_barrier_time_ = 0.0;
   bool done_ = false;
+  /// True when this runtime installed the profiler's open-span gauge
+  /// (last-constructed profiled runtime wins; cleared in the dtor).
+  bool prof_gauge_registered_ = false;
   sim::EventId policy_event_ = sim::kInvalidEvent;
   /// Engine time at start(); 0 in standalone mode. Makespan and the POP
   /// elapsed time are measured relative to it so a runtime started

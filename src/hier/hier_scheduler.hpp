@@ -30,6 +30,7 @@
 
 #include "hier/config.hpp"
 #include "hier/global_balancer.hpp"
+#include "prof/prof.hpp"
 #include "sched/scheduler.hpp"
 
 namespace tlb::hier {
@@ -42,6 +43,9 @@ class HierScheduler final : public sched::Scheduler {
 
   [[nodiscard]] const char* name() const override { return "hier"; }
   [[nodiscard]] sched::Decision pick(const nanos::Task& task) override {
+    // Nests under the runtime's "sched.pick": the summary-driven
+    // placement is the part whose cost must stay O(adjacent nodes).
+    PROF_SCOPE("hier.balance");
     return balancer_.pick(task, stats_);
   }
   void on_task_started(const nanos::Task& task, core::WorkerId w,

@@ -10,6 +10,7 @@
 #include <deque>
 #include <vector>
 
+#include "prof/prof.hpp"
 #include "sim/time.hpp"
 
 namespace tlb::nanos {
@@ -75,6 +76,13 @@ struct Task {
 /// tasks are appended.
 class TaskPool {
  public:
+  ~TaskPool() {
+    if (!prof::enabled()) return;
+    for (const auto& t : tasks_) {
+      prof::free_note(prof::AllocTag::NanosTask, charged_bytes(t));
+    }
+  }
+
   TaskId create(int apprank, double work, std::vector<AccessRegion> accesses,
                 bool offloadable = true) {
     Task t;
@@ -83,6 +91,7 @@ class TaskPool {
     t.work = work;
     t.accesses = std::move(accesses);
     t.offloadable = offloadable;
+    prof::alloc_note(prof::AllocTag::NanosTask, charged_bytes(t));
     tasks_.push_back(std::move(t));
     return tasks_.back().id;
   }
@@ -94,6 +103,14 @@ class TaskPool {
   [[nodiscard]] std::size_t size() const { return tasks_.size(); }
 
  private:
+  // Attribution estimate for tlb::prof: the task record plus its access
+  // vector. The accesses capacity is fixed at create() (moved in, never
+  // appended), so the same formula at destruction balances to zero.
+  // Successor edges grow later and are deliberately not charged here.
+  [[nodiscard]] static std::size_t charged_bytes(const Task& t) {
+    return sizeof(Task) + t.accesses.capacity() * sizeof(AccessRegion);
+  }
+
   std::deque<Task> tasks_;
 };
 

@@ -7,6 +7,8 @@
 #include <numeric>
 #include <unordered_set>
 
+#include "prof/prof.hpp"
+
 namespace tlb::net {
 
 namespace {
@@ -23,6 +25,15 @@ Fabric::Fabric(sim::Engine& engine, NetTopology topology)
   last_util_.assign(links, 0.0);
   congested_.assign(links, 0);
   link_flows_.resize(links);
+}
+
+Fabric::~Fabric() {
+  // Flows still in flight at teardown: release their net.flow charge so
+  // the allocation accounting balances to zero (charged in start_flow,
+  // normally released in complete()/cancel()).
+  if (prof::enabled() && !flows_.empty()) {
+    prof::free_note(prof::AllocTag::NetFlow, flows_.size() * sizeof(Flow));
+  }
 }
 
 double Fabric::effective_capacity(LinkId link) const {
@@ -58,6 +69,7 @@ FlowId Fabric::start_flow(NodeId src, NodeId dst, std::uint64_t bytes,
   auto [it, inserted] = flows_.emplace(id, std::move(flow));
   assert(inserted);
   (void)inserted;
+  prof::alloc_note(prof::AllocTag::NetFlow, sizeof(Flow));
   it->second.pending_event =
       engine_.after(latency, [this, id] { inject(id); });
   return id;
@@ -85,6 +97,7 @@ void Fabric::complete(FlowId id) {
   Flow flow = std::move(it->second);
   if (flow.injected) unlink_flow(id, flow);
   flows_.erase(it);
+  prof::free_note(prof::AllocTag::NetFlow, sizeof(Flow));
   ++completed_;
   if (flow.bytes > 0) fcts_.push_back(engine_.now() - flow.started_at);
   delivered_ += flow.bytes;
@@ -101,6 +114,7 @@ void Fabric::cancel(FlowId id) {
   const NodeId dst = it->second.dst;
   engine_.cancel(it->second.pending_event);
   flows_.erase(it);
+  prof::free_note(prof::AllocTag::NetFlow, sizeof(Flow));
   ++cancelled_;
   // Released bandwidth is re-shared immediately.
   if (injected) resolve_after_change(topo_.route(src, dst));
@@ -134,6 +148,7 @@ void Fabric::unlink_flow(FlowId id, const Flow& flow) {
 }
 
 void Fabric::recompute() {
+  PROF_SCOPE("net.solve.full");
   std::vector<std::pair<FlowId, Flow*>> active;
   active.reserve(flows_.size());
   for (auto& [id, flow] : flows_) {
@@ -149,6 +164,9 @@ void Fabric::resolve_after_change(const std::vector<LinkId>& seed) {
     recompute();
     return;
   }
+  // Exclusive time under this scope is the component walk; the nested
+  // "net.solve" node is the progressive filling itself.
+  PROF_SCOPE("net.solve.incremental");
   // Walk the flow<->link incidence graph from the seed links to collect
   // the connected component the change can affect. Every injected flow
   // crossing a component link is itself in the component (BFS closure),
@@ -196,6 +214,7 @@ void Fabric::resolve_after_change(const std::vector<LinkId>& seed) {
 
 void Fabric::solve(std::vector<std::pair<FlowId, Flow*>>& active,
                    const std::vector<LinkId>& links) {
+  PROF_SCOPE("net.solve");
   const sim::SimTime now = engine_.now();
   ++solver_runs_;
   solver_flows_touched_ += active.size();

@@ -57,6 +57,7 @@ inline constexpr FlowId kInvalidFlow = 0;
 class Fabric {
  public:
   Fabric(sim::Engine& engine, NetTopology topology);
+  ~Fabric();
 
   [[nodiscard]] const NetTopology& topology() const { return topo_; }
 

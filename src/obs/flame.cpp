@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "prof/prof.hpp"
+
 namespace tlb::obs {
 
 namespace {
@@ -24,6 +26,7 @@ void add(std::map<std::string, std::uint64_t>& out, const std::string& stack,
 
 std::map<std::string, std::uint64_t> collapsed_stacks(
     const SpanCollector& spans) {
+  PROF_SCOPE("obs.flame_export");
   std::map<std::string, std::uint64_t> out;
   for (const SpanCollector::TaskSpan& s : spans.spans()) {
     if (s.attempts.empty()) continue;

@@ -3,11 +3,27 @@
 #include <algorithm>
 #include <cassert>
 
+#include "prof/prof.hpp"
+
 namespace tlb::obs {
+
+SpanCollector::~SpanCollector() {
+  // Balance the obs.span charges (spans at dense-slot growth, attempts
+  // and instants at push) so alive bytes return to zero at teardown.
+  if (!prof::enabled()) return;
+  std::size_t bytes = spans_.size() * sizeof(TaskSpan) +
+                      instants_.size() * sizeof(InstantEvent);
+  for (const auto& s : spans_) bytes += s.attempts.size() * sizeof(Attempt);
+  if (bytes > 0) prof::free_note(prof::AllocTag::ObsSpan, bytes);
+}
 
 SpanCollector::TaskSpan& SpanCollector::at(nanos::TaskId id) {
   const auto idx = static_cast<std::size_t>(id);
-  if (idx >= spans_.size()) spans_.resize(idx + 1);
+  if (idx >= spans_.size()) {
+    prof::alloc_note(prof::AllocTag::ObsSpan,
+                     (idx + 1 - spans_.size()) * sizeof(TaskSpan));
+    spans_.resize(idx + 1);
+  }
   return spans_[idx];
 }
 
@@ -41,6 +57,7 @@ void SpanCollector::task_scheduled(nanos::TaskId id, int worker, int node,
   a.node = node;
   a.offloaded = offloaded;
   a.scheduled_at = t;
+  prof::alloc_note(prof::AllocTag::ObsSpan, sizeof(Attempt));
   s.attempts.push_back(a);
 }
 
@@ -54,6 +71,7 @@ void SpanCollector::sched_decision(nanos::TaskId id, SchedVerdict verdict,
   e.name = (verdict == SchedVerdict::Steered ? "sched steer task "
                                              : "sched suppress task ") +
            std::to_string(id);
+  prof::alloc_note(prof::AllocTag::ObsSpan, sizeof(InstantEvent));
   instants_.push_back(std::move(e));
 }
 
@@ -102,15 +120,22 @@ void SpanCollector::task_rescued(nanos::TaskId id, int worker,
   e.t = t;
   e.node = worker;
   e.name = "rescue task " + std::to_string(id);
+  prof::alloc_note(prof::AllocTag::ObsSpan, sizeof(InstantEvent));
   instants_.push_back(std::move(e));
 }
 
 void SpanCollector::restore_span(TaskSpan span) {
   const nanos::TaskId id = span.id;
-  at(id) = std::move(span);
+  TaskSpan& slot = at(id);
+  prof::free_note(prof::AllocTag::ObsSpan,
+                  slot.attempts.size() * sizeof(Attempt));
+  prof::alloc_note(prof::AllocTag::ObsSpan,
+                   span.attempts.size() * sizeof(Attempt));
+  slot = std::move(span);
 }
 
 void SpanCollector::restore_instant(InstantEvent event) {
+  prof::alloc_note(prof::AllocTag::ObsSpan, sizeof(InstantEvent));
   instants_.push_back(std::move(event));
 }
 
@@ -120,6 +145,7 @@ void SpanCollector::link_congestion(int link, const std::string& name,
   InstantEvent e;
   e.t = t;
   e.name = (congested ? "net congestion: " : "net cleared: ") + name;
+  prof::alloc_note(prof::AllocTag::ObsSpan, sizeof(InstantEvent));
   instants_.push_back(std::move(e));
 }
 

@@ -100,6 +100,8 @@ class SpanCollector final : public SpanSink {
     int node = -1;  ///< -1 = cluster-scoped (congestion marks)
   };
 
+  ~SpanCollector() override;
+
   void task_created(nanos::TaskId id, int apprank, sim::SimTime t) override;
   void task_ready(nanos::TaskId id, sim::SimTime t) override;
   void task_scheduled(nanos::TaskId id, int worker, int node, bool offloaded,

@@ -1,0 +1,27 @@
+// Configuration of the host-side engine self-profiler (tlb::prof).
+//
+// Off by default. When disabled, every PROF_SCOPE / alloc_note hook
+// collapses to a single branch on a plain bool — no atomics, no clock
+// reads — and the profiler records nothing. Profiling is host-side and
+// record-only: it never posts engine events or feeds back into any
+// decision, so golden schedules are bit-identical on vs off.
+#pragma once
+
+#include <cstdint>
+
+namespace tlb::prof {
+
+struct ProfConfig {
+  /// Master switch. Enables phase timers, allocation accounting and
+  /// periodic engine health snapshots for this process.
+  bool enabled = false;
+
+  /// Engine health snapshot cadence, counted in *fired events* inside the
+  /// host event loop (never in simulated time — a sim-time timer would
+  /// post engine events and break the record-only contract). The stride
+  /// doubles automatically when the snapshot buffer would overflow, so
+  /// long runs keep a bounded, roughly log-spaced history.
+  std::uint64_t snapshot_every_events = 8192;
+};
+
+}  // namespace tlb::prof

@@ -3,9 +3,14 @@
 #include <algorithm>
 #include <limits>
 
+#include "prof/prof.hpp"
+
 namespace tlb::sched {
 
 core::WorkerId Scheduler::locality_pick(const nanos::Task& task) const {
+  // The flat §5.5 walk every policy builds on; its share of "sched.pick"
+  // is what the hier summaries are meant to shrink.
+  PROF_SCOPE("sched.locality_walk");
   const core::Topology& topo = view_.topology();
   const auto& ws = topo.workers_of_apprank(task.apprank);
   const nanos::DataLocations& loc = view_.locations(task.apprank);

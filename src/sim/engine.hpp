@@ -60,6 +60,9 @@ class Engine {
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
 
  private:
+  /// Instrumented twin of the run loops, entered when tlb::prof is on.
+  SimTime run_profiled(SimTime horizon, bool bounded);
+
   EventQueue queue_;
   SimTime now_ = 0.0;
   std::uint64_t fired_ = 0;

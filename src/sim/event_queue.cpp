@@ -9,6 +9,8 @@ namespace tlb::sim {
 EventId EventQueue::push(SimTime t, Callback cb) {
   const EventId id = next_id_++;
   ++live_;
+  // Charged per physical entry; released in pop()/skip_cancelled()/dtor.
+  prof::alloc_note(prof::AllocTag::SimEvent, sizeof(Entry));
   if (bucket_has_entry() && t == bucket_time_) {
     // Extend the in-flight same-time batch; ids stay increasing, so
     // front-to-back consumption is FIFO.
@@ -77,12 +79,14 @@ void EventQueue::skip_cancelled() {
     auto it = cancelled_.find(heap_.front().id);
     if (it == cancelled_.end()) break;
     cancelled_.erase(it);
+    prof::free_note(prof::AllocTag::SimEvent, sizeof(Entry));
     heap_pop_root();
   }
   while (bucket_has_entry()) {
     auto it = cancelled_.find(bucket_[bucket_head_].id);
     if (it == cancelled_.end()) break;
     cancelled_.erase(it);
+    prof::free_note(prof::AllocTag::SimEvent, sizeof(Entry));
     bucket_[bucket_head_].cb = nullptr;  // release captures eagerly
     ++bucket_head_;
   }
@@ -110,6 +114,7 @@ std::pair<SimTime, EventQueue::Callback> EventQueue::pop() {
   const bool bucket_ok = bucket_has_entry();
   assert((heap_ok || bucket_ok) && "pop() on empty queue");
   --live_;
+  prof::free_note(prof::AllocTag::SimEvent, sizeof(Entry));
   if (bucket_ok &&
       (!heap_ok || earlier(bucket_[bucket_head_], heap_.front()))) {
     Entry& e = bucket_[bucket_head_];

@@ -25,6 +25,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "prof/prof.hpp"
 #include "sim/time.hpp"
 
 namespace tlb::sim {
@@ -42,6 +43,16 @@ class EventQueue {
   EventQueue() = default;
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
+  ~EventQueue() {
+    // Release the alloc-accounting charge of entries still queued at
+    // teardown (sim.event must balance to zero; entries are charged in
+    // push() and released when physically removed).
+    const std::size_t remaining =
+        heap_.size() + (bucket_.size() - bucket_head_);
+    if (remaining > 0) {
+      prof::free_note(prof::AllocTag::SimEvent, remaining * sizeof(Entry));
+    }
+  }
 
   /// Schedules `cb` to fire at absolute time `t`. Returns a handle that can
   /// be passed to cancel().

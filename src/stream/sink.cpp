@@ -5,6 +5,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "prof/prof.hpp"
+
 namespace tlb::stream {
 
 StreamSink::StreamSink(StreamConfig config) : config_(std::move(config)) {
@@ -51,6 +53,7 @@ void StreamSink::end_record() {
 
 void StreamSink::flush_if_full() {
   if (buffer_.size() < config_.buffer_bytes) return;
+  PROF_SCOPE("stream.flush");
   if (std::fwrite(buffer_.data(), 1, buffer_.size(), file_) !=
       buffer_.size()) {
     throw std::runtime_error("stream: short write to " + config_.path);
@@ -61,7 +64,13 @@ void StreamSink::flush_if_full() {
 // --- span bookkeeping (SpanCollector-equivalent) ------------------------------
 
 auto StreamSink::at(nanos::TaskId id) -> TaskSpan& {
+  const std::size_t before = open_.size();
   TaskSpan& s = open_[id];
+  if (open_.size() != before) {
+    // Charged per open span; released when the span spills (task_done /
+    // close). The bounded working set is exactly what this tag tracks.
+    prof::alloc_note(prof::AllocTag::ObsSpan, sizeof(TaskSpan));
+  }
   peak_open_ = std::max(peak_open_, open_.size());
   return s;
 }
@@ -95,6 +104,7 @@ void StreamSink::task_scheduled(nanos::TaskId id, int worker, int node,
   a.node = node;
   a.offloaded = offloaded;
   a.scheduled_at = t;
+  prof::alloc_note(prof::AllocTag::ObsSpan, sizeof(Attempt));
   at(id).attempts.push_back(a);
 }
 
@@ -145,6 +155,8 @@ void StreamSink::task_done(nanos::TaskId id, sim::SimTime t) {
   TaskSpan& s = at(id);
   s.done_at = t;
   spill_span(s);
+  prof::free_note(prof::AllocTag::ObsSpan,
+                  sizeof(TaskSpan) + s.attempts.size() * sizeof(Attempt));
   open_.erase(id);
   ++spans_spilled_;
 }
@@ -168,6 +180,7 @@ void StreamSink::link_congestion(int link, const std::string& name,
 // --- serialization ------------------------------------------------------------
 
 void StreamSink::spill_span(const TaskSpan& span) {
+  PROF_SCOPE("stream.spill");
   begin_record(RecordType::TaskSpan);
   put_u64(static_cast<std::uint64_t>(span.id));
   put_i32(span.apprank);
@@ -229,6 +242,9 @@ void StreamSink::close() {
   for (const auto& [id, span] : open_) {
     (void)id;
     spill_span(span);
+    prof::free_note(
+        prof::AllocTag::ObsSpan,
+        sizeof(TaskSpan) + span.attempts.size() * sizeof(Attempt));
     ++spans_spilled_;
     ++open_count;
   }

@@ -1,0 +1,338 @@
+// Tests of the host-side engine self-profiler (tlb::prof): the
+// record-only contract (golden schedule fingerprints bit-identical with
+// profiling on), phase-tree accounting invariants (inclusive >=
+// exclusive, parent >= sum of children), per-subsystem allocation
+// counters balancing to zero after runtime teardown, health-snapshot
+// shape and self-thinning, collapsed-stack export format, and the
+// disabled path recording nothing at all.
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/synthetic.hpp"
+#include "core/runtime.hpp"
+#include "prof/prof.hpp"
+
+namespace {
+
+using namespace tlb;
+
+// --- golden fingerprints (shared with tests/sched_test.cpp) ------------------
+
+std::uint64_t fp_mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v;
+  h *= 1099511628211ull;
+  return h;
+}
+
+std::uint64_t bits_of(double d) {
+  std::uint64_t b;
+  std::memcpy(&b, &d, sizeof(b));
+  return b;
+}
+
+std::uint64_t schedule_fingerprint(const core::ClusterRuntime& rt,
+                                   const core::RunResult& r) {
+  std::uint64_t h = 1469598103934665603ull;
+  const nanos::TaskPool& pool = rt.tasks();
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    const nanos::Task& t = pool.get(static_cast<nanos::TaskId>(i));
+    h = fp_mix(h, t.id);
+    h = fp_mix(h, static_cast<std::uint64_t>(
+                      static_cast<std::int64_t>(t.scheduled_node)));
+    h = fp_mix(h, static_cast<std::uint64_t>(
+                      static_cast<std::int64_t>(t.executed_worker)));
+    h = fp_mix(h, static_cast<std::uint64_t>(
+                      static_cast<std::int64_t>(t.executed_core)));
+    h = fp_mix(h, static_cast<std::uint64_t>(t.executions));
+    h = fp_mix(h, bits_of(t.start_at));
+    h = fp_mix(h, bits_of(t.finish_at));
+  }
+  h = fp_mix(h, bits_of(r.makespan));
+  h = fp_mix(h, r.events_fired);
+  return h;
+}
+
+// Captured in tests/sched_test.cpp from the pre-obs binary; the profiler
+// only records host time — it must not move them.
+constexpr std::uint64_t kGoldenPlain = 0x5515139c5bf2c300ull;
+
+core::RuntimeConfig plain_config() {
+  core::RuntimeConfig cfg;
+  cfg.cluster = sim::ClusterSpec::homogeneous(4, 8);
+  cfg.appranks_per_node = 2;
+  cfg.degree = 3;
+  cfg.policy = core::PolicyKind::Global;
+  cfg.global_period = 0.2;
+  cfg.local_period = 0.05;
+  return cfg;
+}
+
+apps::SyntheticConfig plain_workload() {
+  apps::SyntheticConfig cfg;
+  cfg.appranks = 8;
+  cfg.imbalance = 1.8;
+  cfg.iterations = 3;
+  cfg.tasks_per_rank = 40;
+  return cfg;
+}
+
+core::RuntimeConfig net_config() {
+  core::RuntimeConfig cfg;
+  cfg.cluster = sim::ClusterSpec::homogeneous(4, 4);
+  cfg.appranks_per_node = 1;
+  cfg.degree = 2;
+  cfg.policy = core::PolicyKind::Global;
+  cfg.global_period = 0.2;
+  cfg.local_period = 0.05;
+  cfg.net.enabled = true;
+  cfg.net.leaf_radix = 2;
+  cfg.net.spines = 1;
+  return cfg;
+}
+
+apps::SyntheticConfig net_workload() {
+  apps::SyntheticConfig cfg;
+  cfg.appranks = 4;
+  cfg.iterations = 2;
+  cfg.tasks_per_rank = 24;
+  cfg.imbalance = 2.0;
+  cfg.bytes_per_task = 1 << 20;
+  return cfg;
+}
+
+core::RuntimeConfig with_prof(core::RuntimeConfig cfg,
+                              std::uint64_t stride = 256) {
+  cfg.prof.enabled = true;
+  cfg.prof.snapshot_every_events = stride;
+  return cfg;
+}
+
+/// The profiler is process-global; every test starts from a clean slate
+/// and leaves it disabled so the rest of the suite stays on the no-op
+/// path (the record-only tests in other files depend on that).
+class ProfTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    prof::Profiler::instance().disable();
+    prof::Profiler::instance().reset();
+  }
+  void TearDown() override {
+    prof::Profiler::instance().disable();
+    prof::Profiler::instance().reset();
+  }
+};
+
+// --- record-only contract ----------------------------------------------------
+
+TEST_F(ProfTest, GoldenScheduleBitIdenticalWithProfilingOn) {
+  apps::SyntheticWorkload wl(plain_workload());
+  core::ClusterRuntime rt(with_prof(plain_config()));
+  ASSERT_TRUE(prof::enabled());
+  EXPECT_EQ(schedule_fingerprint(rt, rt.run(wl)), kGoldenPlain);
+}
+
+TEST_F(ProfTest, NetScheduleIdenticalProfOnVsOff) {
+  std::uint64_t fp_off = 0;
+  {
+    apps::SyntheticWorkload wl(net_workload());
+    core::ClusterRuntime rt(net_config());
+    EXPECT_FALSE(prof::enabled());
+    fp_off = schedule_fingerprint(rt, rt.run(wl));
+  }
+  std::uint64_t fp_on = 0;
+  {
+    apps::SyntheticWorkload wl(net_workload());
+    core::ClusterRuntime rt(with_prof(net_config()));
+    EXPECT_TRUE(prof::enabled());
+    fp_on = schedule_fingerprint(rt, rt.run(wl));
+  }
+  EXPECT_EQ(fp_on, fp_off);
+}
+
+// --- phase tree --------------------------------------------------------------
+
+TEST_F(ProfTest, PhaseTreeInvariantsHold) {
+  apps::SyntheticWorkload wl(net_workload());
+  core::ClusterRuntime rt(with_prof(net_config()));
+  rt.run(wl);
+
+  auto& p = prof::Profiler::instance();
+  const std::vector<prof::PhaseNode>& nodes = p.phases();
+  ASSERT_FALSE(nodes.empty());
+
+  // Per-node: time attributed to children never exceeds the node's own
+  // inclusive time (exclusive_ns() clamps, so check the raw fields).
+  std::vector<std::uint64_t> child_sum(nodes.size(), 0);
+  for (const prof::PhaseNode& n : nodes) {
+    EXPECT_GT(n.calls, 0u) << n.name;
+    EXPECT_LE(n.child_ns, n.inclusive_ns) << n.name;
+    EXPECT_EQ(n.exclusive_ns(), n.inclusive_ns - n.child_ns) << n.name;
+    if (n.parent >= 0) {
+      child_sum[static_cast<std::size_t>(n.parent)] += n.inclusive_ns;
+    }
+  }
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    EXPECT_LE(child_sum[i], nodes[i].inclusive_ns) << nodes[i].name;
+    EXPECT_EQ(child_sum[i], nodes[i].child_ns) << nodes[i].name;
+  }
+
+  // The engine hot path and the solver must have been attributed.
+  auto has = [&](const char* name) {
+    for (const prof::PhaseNode& n : nodes) {
+      if (std::strcmp(n.name, name) == 0) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("engine.pop"));
+  EXPECT_TRUE(has("engine.dispatch"));
+  EXPECT_TRUE(has("core.construct"));
+  EXPECT_TRUE(has("core.start"));
+  EXPECT_TRUE(has("sched.pick"));
+  EXPECT_GT(p.total_ns("net.solve"), 0u);
+
+  // Attribution never exceeds elapsed wall time.
+  EXPECT_LE(p.attributed_ns(), p.wall_ns());
+}
+
+TEST_F(ProfTest, CollapsedStacksAreWellFormed) {
+  apps::SyntheticWorkload wl(plain_workload());
+  core::ClusterRuntime rt(with_prof(plain_config()));
+  rt.run(wl);
+
+  const std::string folded = prof::Profiler::instance().collapsed_stacks();
+  ASSERT_FALSE(folded.empty());
+  std::size_t start = 0;
+  bool saw_nested = false;
+  while (start < folded.size()) {
+    std::size_t end = folded.find('\n', start);
+    if (end == std::string::npos) end = folded.size();
+    const std::string line = folded.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    // "<path>[;<path>...] <micros>" — one space, positive integer value.
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    ASSERT_GT(space, 0u) << line;
+    EXPECT_NE(line.front(), ';') << line;
+    const std::string value = line.substr(space + 1);
+    ASSERT_FALSE(value.empty()) << line;
+    for (char c : value) EXPECT_TRUE(c >= '0' && c <= '9') << line;
+    EXPECT_GT(std::stoull(value), 0u) << line;
+    if (line.find(';') != std::string::npos) saw_nested = true;
+  }
+  EXPECT_TRUE(saw_nested);  // dispatch work nests under engine.dispatch
+}
+
+// --- allocation accounting ---------------------------------------------------
+
+TEST_F(ProfTest, AllocCountersBalanceToZeroAfterTeardown) {
+  {
+    apps::SyntheticWorkload wl(net_workload());
+    core::ClusterRuntime rt(with_prof(net_config()));
+    rt.run(wl);
+    // Mid-run charges were made: peaks must be visible with the runtime
+    // still alive.
+    bool any_peak = false;
+    for (const prof::TagStats& t : prof::Profiler::instance().alloc_stats()) {
+      if (t.peak_bytes > 0) any_peak = true;
+    }
+    EXPECT_TRUE(any_peak);
+  }
+  // Every charge released: destructors return exactly what was noted.
+  for (const prof::TagStats& t : prof::Profiler::instance().alloc_stats()) {
+    EXPECT_EQ(t.alive_bytes, 0) << t.tag;
+    EXPECT_GE(t.peak_bytes, 0) << t.tag;
+  }
+  // The tags this workload exercises all saw traffic.
+  auto peak_of = [](const char* tag) {
+    for (const prof::TagStats& t : prof::Profiler::instance().alloc_stats()) {
+      if (std::strcmp(t.tag, tag) == 0) return t.peak_bytes;
+    }
+    return std::int64_t{-1};
+  };
+  EXPECT_GT(peak_of("sim.event"), 0);
+  EXPECT_GT(peak_of("nanos.task"), 0);
+  EXPECT_GT(peak_of("net.flow"), 0);
+  EXPECT_GT(peak_of("core.exec"), 0);
+  EXPECT_GT(peak_of("core.pending"), 0);
+}
+
+// --- health snapshots --------------------------------------------------------
+
+TEST_F(ProfTest, SnapshotsRecordEngineHealth) {
+  apps::SyntheticWorkload wl(net_workload());
+  core::ClusterRuntime rt(with_prof(net_config(), /*stride=*/64));
+  const core::RunResult r = rt.run(wl);
+
+  auto& p = prof::Profiler::instance();
+  const std::vector<prof::HealthSnapshot>& snaps = p.snapshots();
+  ASSERT_FALSE(snaps.empty());
+  std::uint64_t prev_events = 0;
+  for (const prof::HealthSnapshot& s : snaps) {
+    EXPECT_GT(s.events_fired, prev_events);
+    prev_events = s.events_fired;
+    EXPECT_GE(s.wall_s, 0.0);
+    EXPECT_GE(s.events_per_sec, 0.0);
+    EXPECT_GE(s.rss_mb, 0.0);      // zero off-Linux, positive otherwise
+    EXPECT_GE(s.rss_hwm_mb, 0.0);
+    EXPECT_GE(s.attributed_ns, s.solve_ns);
+  }
+  EXPECT_LE(snaps.back().events_fired, r.events_fired);
+}
+
+TEST_F(ProfTest, SnapshotBufferSelfThins) {
+  // Stride 1 on a run with thousands of events would record one snapshot
+  // per event without the cap; thinning must keep the buffer bounded and
+  // grow the stride instead.
+  apps::SyntheticWorkload wl(plain_workload());
+  core::ClusterRuntime rt(with_prof(plain_config(), /*stride=*/1));
+  rt.run(wl);
+
+  auto& p = prof::Profiler::instance();
+  EXPECT_LE(p.snapshots().size(), 512u);
+  EXPECT_GT(p.snapshot_stride(), 1u);
+}
+
+TEST_F(ProfTest, JsonExportHasExpectedShape) {
+  apps::SyntheticWorkload wl(net_workload());
+  core::ClusterRuntime rt(with_prof(net_config(), /*stride=*/64));
+  rt.run(wl);
+
+  const std::string json = prof::Profiler::instance().to_json();
+  for (const char* key :
+       {"\"wall_s\"", "\"attributed_ns\"", "\"unattributed_share\"",
+        "\"phases\"", "\"alloc\"", "\"snapshot_stride\"", "\"snapshots\"",
+        "\"path\"", "\"calls\"", "\"inclusive_ns\"", "\"exclusive_ns\"",
+        "\"tag\"", "\"alive_bytes\"", "\"peak_bytes\"",
+        "\"events_per_sec\"", "\"queue_depth\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+// --- disabled path -----------------------------------------------------------
+
+TEST_F(ProfTest, DisabledPathRecordsNothing) {
+  apps::SyntheticWorkload wl(net_workload());
+  core::ClusterRuntime rt(net_config());  // prof off (default)
+  rt.run(wl);
+
+  auto& p = prof::Profiler::instance();
+  EXPECT_FALSE(prof::enabled());
+  EXPECT_TRUE(p.phases().empty());
+  EXPECT_TRUE(p.snapshots().empty());
+  for (const prof::TagStats& t : p.alloc_stats()) {
+    EXPECT_EQ(t.alive_bytes, 0) << t.tag;
+    EXPECT_EQ(t.peak_bytes, 0) << t.tag;
+    EXPECT_EQ(t.allocs, 0u) << t.tag;
+    EXPECT_EQ(t.frees, 0u) << t.tag;
+  }
+  // Scopes constructed while disabled never touch the tree.
+  { PROF_SCOPE("test.should_not_record"); }
+  EXPECT_TRUE(p.phases().empty());
+}
+
+}  // namespace

@@ -249,7 +249,14 @@ struct SpillFixture : ::testing::Test {
   std::string path;
 
   void SetUp() override {
-    path = spill_path("validate");
+    // Unique per test: ctest -j runs each TEST_F in its own process from
+    // the same directory, so a shared name would let concurrent fixture
+    // SetUps stomp each other's file mid-mutation.
+    path = spill_path((std::string("validate_") +
+                       ::testing::UnitTest::GetInstance()
+                           ->current_test_info()
+                           ->name())
+                          .c_str());
     apps::SyntheticWorkload wl(plain_workload());
     core::ClusterRuntime rt(with_stream(plain_config(), path));
     rt.run(wl);

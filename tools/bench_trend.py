@@ -84,6 +84,15 @@ def point_metrics(point: dict) -> list[tuple[str, bool]]:
         metrics.append(("events_per_sec", False))
     if isinstance(point.get("peak_rss_mb"), (int, float)):
         metrics.append(("peak_rss_mb", True))
+    # Self-profiler attribution (fig17 scale points with TLB_PROF=1): the
+    # solver's share of wall time growing means the max-min re-solve is
+    # eating the engine again; bytes charged per task growing means a
+    # subsystem started retaining more per-task state (the ~2.5 KB/task
+    # budget tracked in EXPERIMENTS.md).
+    if isinstance(point.get("solver_wall_share"), (int, float)):
+        metrics.append(("solver_wall_share", True))
+    if isinstance(point.get("alloc_bytes_per_task"), (int, float)):
+        metrics.append(("alloc_bytes_per_task", True))
     return metrics
 
 

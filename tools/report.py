@@ -100,6 +100,43 @@ def series_table(series: dict) -> list[str]:
     return lines
 
 
+def prof_section(prof: dict) -> list[str]:
+    """Render a report's embedded self-profile (src/prof, emitted when the
+    bench ran with TLB_PROF=1): top phases by exclusive wall time, the
+    per-subsystem allocation peaks, and the health-snapshot summary.
+    The phase window covers the bench's last profiler reset (for fig17,
+    the final scale point)."""
+    out: list[str] = ["", "**Self-profile (TLB_PROF=1)**", ""]
+    wall_s = prof.get("wall_s", 0.0)
+    unattributed = prof.get("unattributed_share", 0.0)
+    snapshots = prof.get("snapshots") or []
+    stride = prof.get("snapshot_stride", 0)
+    out.append(f"Window {fmt(wall_s, 'wall_s')} s, unattributed "
+               f"{100.0 * unattributed:.1f}%, {len(snapshots)} health "
+               f"snapshots (stride {stride} events).")
+    phases = sorted(prof.get("phases") or [],
+                    key=lambda p: p.get("exclusive_ns", 0), reverse=True)
+    if phases:
+        out.append("")
+        out.append("| phase | calls | exclusive[ms] | inclusive[ms] |")
+        out.append("|---|---|---|---|")
+        for p in phases[:12]:
+            out.append(f"| `{p['path']}` | {p['calls']} "
+                       f"| {p['exclusive_ns'] / 1e6:.1f} "
+                       f"| {p['inclusive_ns'] / 1e6:.1f} |")
+        if len(phases) > 12:
+            out.append(f"| … {len(phases) - 12} more | | | |")
+    allocs = [a for a in (prof.get("alloc") or []) if a.get("peak_bytes")]
+    if allocs:
+        out.append("")
+        out.append("| subsystem | peak[MB] | allocs | frees |")
+        out.append("|---|---|---|---|")
+        for a in allocs:
+            out.append(f"| `{a['tag']}` | {a['peak_bytes'] / 1048576:.1f} "
+                       f"| {a['allocs']} | {a['frees']} |")
+    return out
+
+
 def render(reports: list[dict]) -> str:
     out: list[str] = []
     smoke = any(r.get("smoke") for r in reports)
@@ -125,6 +162,8 @@ def render(reports: list[dict]) -> str:
                 out.append(f"**{name}**")
             out.append("")
             out.extend(series_table(series))
+        if isinstance(report.get("prof"), dict):
+            out.extend(prof_section(report["prof"]))
     out.append("")
     return "\n".join(out)
 
